@@ -1,0 +1,370 @@
+package quorumselect_test
+
+// Benchmark harness: one benchmark per paper experiment (E1–E10, see
+// DESIGN.md §3 and EXPERIMENTS.md), plus micro-benchmarks of the
+// building blocks. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report the headline measured quantity as a
+// custom metric next to wall-clock time, so `-bench` output doubles as
+// the numbers table.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quorumselect/internal/adversary"
+	"quorumselect/internal/core"
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/experiments"
+	"quorumselect/internal/follower"
+	"quorumselect/internal/graph"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// --- Experiment benchmarks (one per table/figure) ---
+
+func BenchmarkE1QuorumChangesPerEpoch(b *testing.B) {
+	for f := 1; f <= 3; f++ {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			var last int
+			for i := 0; i < b.N; i++ {
+				net, nodes := benchCoreNet(3*f+1, f)
+				res := adversary.RunQuorumChurn(net, nodes, adversary.ChurnOptions{F: f})
+				last = res.MaxPerEpoch
+			}
+			b.ReportMetric(float64(last), "quorums/epoch")
+			b.ReportMetric(float64(ids.TheoremFourBound(f)), "bound-C(f+2,2)")
+		})
+	}
+}
+
+func BenchmarkE2LowerBoundAdversary(b *testing.B) {
+	for f := 1; f <= 3; f++ {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			var proposed int
+			for i := 0; i < b.N; i++ {
+				net, nodes := benchCoreNet(3*f+1, f)
+				res := adversary.RunQuorumChurn(net, nodes, adversary.ChurnOptions{F: f})
+				proposed = res.QuorumsIssued + 1
+			}
+			b.ReportMetric(float64(proposed), "proposed")
+			b.ReportMetric(float64(ids.TheoremFourBound(f)), "bound-C(f+2,2)")
+		})
+	}
+}
+
+func BenchmarkE3FollowerSelectionBound(b *testing.B) {
+	for f := 1; f <= 3; f++ {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			var issued int
+			for i := 0; i < b.N; i++ {
+				net, nodes := benchFollowerNet(3*f+1, f)
+				res := adversary.RunFollowerChurn(net, nodes, adversary.FollowerChurnOptions{F: f})
+				issued = res.QuorumsIssued
+			}
+			b.ReportMetric(float64(issued), "quorums")
+			b.ReportMetric(float64(ids.CorollaryTenBound(f)), "bound-6f+2")
+		})
+	}
+}
+
+func BenchmarkE4MessageReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E4MessageReduction(1, 5)
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE5ViewChangeCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E5ViewChanges(1)
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE6XPaxosNormalCase(b *testing.B) {
+	// Throughput of the XPaxos normal case on the simulator: one
+	// committed request per iteration on a warm 4-process system.
+	cfg := ids.MustConfig(4, 1)
+	nodeOpts := core.DefaultNodeOptions()
+	nodeOpts.HeartbeatPeriod = 0
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	replicas := make(map[ids.ProcessID]*xpaxos.Replica, cfg.N)
+	for _, p := range cfg.All() {
+		node, r := xpaxos.NewQSNode(xpaxos.Options{SM: xpaxos.EchoMachine{}}, nodeOpts)
+		replicas[p] = r
+		nodes[p] = node
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Latency: sim.ConstantLatency(time.Millisecond)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replicas[1].Submit(&wire.Request{Client: 1, Seq: uint64(i + 1), Op: []byte("op")})
+		target := uint64(i + 1)
+		if !net.RunUntil(func() bool { return replicas[1].LastExecuted() >= target }, time.Hour) {
+			b.Fatal("request did not commit")
+		}
+	}
+	b.ReportMetric(float64(net.Metrics().Counter("msg.sent.total"))/float64(b.N), "msgs/req")
+}
+
+func BenchmarkE7DetectionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E7DetectionMatrix()
+		if len(tbl.Rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE8SuspectGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E8SuspectGraph()
+		if len(tbl.Rows) != 2 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE9LineSubgraphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E9LineSubgraphs()
+		if len(tbl.Rows) != 4 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE10Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E10Ablations()
+		if len(tbl.Rows) != 4 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE11Tendermint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E11Tendermint(4)
+		if len(tbl.Rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE12Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E12Scalability([]int{4, 10})
+		if len(tbl.Rows) != 2 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkE13FollowerScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E13FollowerScalability(3)
+		if len(tbl.Rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the building blocks ---
+
+func BenchmarkFirstIndependentSet(b *testing.B) {
+	for _, size := range []struct{ n, edges int }{{10, 8}, {20, 20}, {30, 40}} {
+		b.Run(fmt.Sprintf("n=%d,e=%d", size.n, size.edges), func(b *testing.B) {
+			g := graph.New(size.n)
+			// Deterministic pseudo-random sparse graph.
+			x := uint64(88172645463325252)
+			next := func(mod int) int {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return int(x % uint64(mod))
+			}
+			for i := 0; i < size.edges; i++ {
+				g.AddEdge(ids.ProcessID(next(size.n)+1), ids.ProcessID(next(size.n)+1))
+			}
+			q := size.n - size.n/4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.FirstIndependentSet(q)
+			}
+		})
+	}
+}
+
+func BenchmarkMaximalLineSubgraph(b *testing.B) {
+	for _, size := range []struct{ n, edges int }{{10, 8}, {20, 16}, {30, 24}} {
+		b.Run(fmt.Sprintf("n=%d,e=%d", size.n, size.edges), func(b *testing.B) {
+			g := graph.New(size.n)
+			x := uint64(2463534242)
+			next := func(mod int) int {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return int(x % uint64(mod))
+			}
+			for i := 0; i < size.edges; i++ {
+				g.AddEdge(ids.ProcessID(next(size.n)+1), ids.ProcessID(next(size.n)+1))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.MaximalLineSubgraph(g)
+			}
+		})
+	}
+}
+
+func BenchmarkWireCodec(b *testing.B) {
+	msg := &wire.Commit{
+		Replica: 3, View: 7, Slot: 99, HasPrep: true,
+		Prep: wire.Prepare{Leader: 1, View: 7, Slot: 99,
+			Req: wire.Request{Client: 1, Seq: 2, Op: []byte("set key value")},
+			Sig: make([]byte, 64)},
+		Sig: make([]byte, 64),
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wire.Encode(msg)
+		}
+	})
+	data := wire.Encode(msg)
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAuthenticators(b *testing.B) {
+	cfg := ids.MustConfig(4, 1)
+	data := []byte("canonical message bytes for signing benchmarks")
+	ed, err := crypto.NewEd25519Ring(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hm := crypto.NewHMACRing(cfg, []byte("secret"))
+	for name, ring := range map[string]crypto.Authenticator{"ed25519": ed, "hmac": hm} {
+		sig, err := ring.Sign(1, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/sign", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ring.Sign(1, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/verify", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := ring.Verify(1, data, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSuspicionMerge(b *testing.B) {
+	cfg := ids.MustConfig(16, 5)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	for _, p := range cfg.All() {
+		nodes[p] = benchSilent{}
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{})
+	store := suspicion.New(cfg, suspicion.Options{Forward: false})
+	store.Bind(net.Env(1), nil)
+	row := make([]uint64, cfg.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[i%cfg.N] = uint64(i + 1)
+		store.HandleUpdate(&wire.Update{Owner: 2, Row: row, Sig: []byte{0}})
+	}
+}
+
+func BenchmarkSuspectGraphBuild(b *testing.B) {
+	cfg := ids.MustConfig(32, 10)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	for _, p := range cfg.All() {
+		nodes[p] = benchSilent{}
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{})
+	store := suspicion.New(cfg, suspicion.Options{Forward: false})
+	store.Bind(net.Env(1), nil)
+	for i := 0; i < cfg.N; i++ {
+		row := make([]uint64, cfg.N)
+		row[(i+3)%cfg.N] = 1
+		store.HandleUpdate(&wire.Update{Owner: ids.ProcessID(i + 1), Row: row, Sig: []byte{0}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.SuspectGraph()
+	}
+}
+
+func BenchmarkSimulatorEventLoop(b *testing.B) {
+	cfg := ids.MustConfig(4, 1)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	for _, p := range cfg.All() {
+		nodes[p] = benchSilent{}
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Latency: sim.ConstantLatency(time.Millisecond)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: uint64(i)})
+		net.Run(net.Now() + 2*time.Millisecond)
+	}
+}
+
+// --- helpers ---
+
+type benchSilent struct{}
+
+func (benchSilent) Init(runtime.Env)                    {}
+func (benchSilent) Receive(ids.ProcessID, wire.Message) {}
+
+func benchCoreNet(n, f int) (*sim.Network, map[ids.ProcessID]*core.Node) {
+	cfg := ids.MustConfig(n, f)
+	opts := core.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 0
+	nodes := make(map[ids.ProcessID]runtime.Node, n)
+	coreNodes := make(map[ids.ProcessID]*core.Node, n)
+	for _, p := range cfg.All() {
+		node := core.NewNode(opts)
+		coreNodes[p] = node
+		nodes[p] = node
+	}
+	return sim.NewNetwork(cfg, nodes, sim.Options{}), coreNodes
+}
+
+func benchFollowerNet(n, f int) (*sim.Network, map[ids.ProcessID]*follower.Node) {
+	cfg := ids.MustConfig(n, f)
+	opts := follower.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 0
+	nodes := make(map[ids.ProcessID]runtime.Node, n)
+	fNodes := make(map[ids.ProcessID]*follower.Node, n)
+	for _, p := range cfg.All() {
+		node := follower.NewNode(opts)
+		fNodes[p] = node
+		nodes[p] = node
+	}
+	return sim.NewNetwork(cfg, nodes, sim.Options{}), fNodes
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	qs "quorumselect"
+	"quorumselect/internal/wire"
+)
+
+// frontend is the client-facing HTTP API of one XPaxos server:
+//
+//	POST /submit          body = operation; returns the execution result
+//	GET  /status          JSON: view, leader, quorum, executed slots
+//	GET  /kv?key=k        read a key from the local state machine
+//
+// Submissions are assigned client/sequence numbers per frontend; the
+// handler blocks (with a timeout) until the operation executes locally.
+type frontend struct {
+	host    *qs.Host
+	replica *qs.XPaxosReplica
+	kv      *qs.KVMachine
+
+	mu      sync.Mutex
+	nextSeq uint64
+	client  uint64
+	waiters map[uint64]chan []byte // seq → result
+}
+
+func newFrontend(host *qs.Host, replica *qs.XPaxosReplica, kv *qs.KVMachine, clientID uint64) *frontend {
+	return &frontend{
+		host:    host,
+		replica: replica,
+		kv:      kv,
+		client:  clientID,
+		waiters: make(map[uint64]chan []byte),
+	}
+}
+
+// onExecute is wired into the replica's OnExecute hook (called on the
+// host's event loop).
+func (f *frontend) onExecute(e qs.Execution) {
+	if e.Client != f.client {
+		return
+	}
+	f.mu.Lock()
+	ch, ok := f.waiters[e.Seq]
+	if ok {
+		delete(f.waiters, e.Seq)
+	}
+	f.mu.Unlock()
+	if ok {
+		ch <- append([]byte(nil), e.Result...)
+	}
+}
+
+func (f *frontend) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	op, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil || len(op) == 0 {
+		http.Error(w, "empty operation", http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	f.nextSeq++
+	seq := f.nextSeq
+	ch := make(chan []byte, 1)
+	f.waiters[seq] = ch
+	f.mu.Unlock()
+
+	f.host.Do(func() {
+		f.replica.Submit(&wire.Request{Client: f.client, Seq: seq, Op: op})
+	})
+	select {
+	case result := <-ch:
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case <-time.After(10 * time.Second):
+		f.mu.Lock()
+		delete(f.waiters, seq)
+		f.mu.Unlock()
+		http.Error(w, "timed out waiting for execution", http.StatusGatewayTimeout)
+	}
+}
+
+func (f *frontend) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	var status struct {
+		View     uint64   `json:"view"`
+		Leader   string   `json:"leader"`
+		IsLeader bool     `json:"is_leader"`
+		Quorum   []string `json:"quorum"`
+		Executed uint64   `json:"executed"`
+	}
+	f.host.Do(func() {
+		status.View = f.replica.View()
+		status.Leader = f.replica.Leader().String()
+		status.IsLeader = f.replica.IsLeader()
+		for _, p := range f.replica.ActiveQuorum().Members {
+			status.Quorum = append(status.Quorum, p.String())
+		}
+		status.Executed = f.replica.LastExecuted()
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(status)
+}
+
+func (f *frontend) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing ?key=", http.StatusBadRequest)
+		return
+	}
+	var value string
+	var ok bool
+	f.host.Do(func() { value, ok = f.kv.Get(key) })
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	fmt.Fprintln(w, value)
+}
+
+// serveHTTP starts the frontend listener; it returns the server for
+// shutdown.
+func serveHTTP(addr string, f *frontend) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", f.handleSubmit)
+	mux.HandleFunc("/status", f.handleStatus)
+	mux.HandleFunc("/kv", f.handleKV)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("http frontend: %v\n", err)
+		}
+	}()
+	return srv
+}

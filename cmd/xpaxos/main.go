@@ -1,0 +1,179 @@
+// Command xpaxos runs XPaxos-on-Quorum-Selection over real TCP.
+//
+// Server mode — one process of the cluster:
+//
+//	xpaxos -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004 -f 1 -secret s3cret
+//
+// The -peers list names the listen address of every process in
+// identifier order; the process listens on the address at position -id.
+//
+// Local mode — the whole cluster in one process (demo):
+//
+//	xpaxos -local -n 4 -f 1 -requests 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	qs "quorumselect"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/wire"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this process's identifier (1-based)")
+	peersFlag := flag.String("peers", "", "comma-separated listen addresses in identifier order")
+	f := flag.Int("f", 1, "failure threshold")
+	n := flag.Int("n", 4, "number of processes (local mode)")
+	secret := flag.String("secret", "quorumselect-dev", "shared HMAC master secret")
+	local := flag.Bool("local", false, "run the whole cluster in this process")
+	requests := flag.Int("requests", 10, "requests to submit in local mode")
+	httpAddr := flag.String("http", "", "client-facing HTTP address (server mode), e.g. 127.0.0.1:8081")
+	verbose := flag.Bool("v", false, "verbose protocol logging")
+	flag.Parse()
+
+	if *local {
+		runLocal(*n, *f, *secret, *requests, *verbose)
+		return
+	}
+	runServer(*id, *peersFlag, *f, *secret, *httpAddr, *verbose)
+}
+
+func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
+	listen string, secret string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
+	nodeOpts := qs.DefaultNodeOptions()
+	nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
+	kv := qs.NewKVMachine()
+	node, replica := qs.NewXPaxosNode(qs.XPaxosOptions{
+		SM:                 kv,
+		CheckpointInterval: 100,
+		OnExecute: func(e qs.Execution) {
+			fmt.Printf("[%s] executed %s -> %q\n", p, e, e.Result)
+			if onExec != nil {
+				onExec(e)
+			}
+		},
+	}, nodeOpts)
+	var logger qs.Logger = logging.Nop
+	if verbose {
+		logger = logging.NewWriterLogger(os.Stdout, logging.LevelDebug)
+	}
+	host, err := qs.NewTCPHost(qs.HostConfig{
+		Self:       p,
+		System:     cfg,
+		ListenAddr: listen,
+		Peers:      addrs,
+		Auth:       qs.NewHMACAuth(cfg, []byte(secret)),
+		Logger:     logger,
+		Seed:       int64(p),
+	}, node)
+	return host, replica, kv, err
+}
+
+func runServer(id int, peersFlag string, f int, secret, httpAddr string, verbose bool) {
+	peers := strings.Split(peersFlag, ",")
+	if peersFlag == "" || len(peers) < 2 {
+		log.Fatal("server mode needs -peers with at least two addresses")
+	}
+	cfg, err := qs.NewConfig(len(peers), f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	self := qs.ProcessID(id)
+	if !self.Valid(cfg.N) {
+		log.Fatalf("-id %d outside 1..%d", id, cfg.N)
+	}
+	addrs := make(map[qs.ProcessID]string, cfg.N)
+	for i, a := range peers {
+		addrs[qs.ProcessID(i+1)] = strings.TrimSpace(a)
+	}
+	listen := addrs[self]
+	delete(addrs, self)
+
+	var fe *frontend
+	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, verbose,
+		func(e qs.Execution) {
+			if fe != nil {
+				fe.onExecute(e)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+	fmt.Printf("xpaxos %s listening on %s (%s)\n", self, host.Addr(), cfg)
+	if httpAddr != "" {
+		fe = newFrontend(host, replica, kv, uint64(self))
+		srv := serveHTTP(httpAddr, fe)
+		defer srv.Close()
+		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=...)\n", httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func runLocal(n, f int, secret string, requests int, verbose bool) {
+	cfg, err := qs.NewConfig(n, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := make(map[qs.ProcessID]*qs.Host, cfg.N)
+	replicas := make(map[qs.ProcessID]*qs.XPaxosReplica, cfg.N)
+	for _, p := range cfg.All() {
+		host, replica, _, err := buildHost(p, cfg, nil, "", secret, verbose, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hosts[p] = host
+		replicas[p] = replica
+	}
+	for _, p := range cfg.All() {
+		for _, q := range cfg.All() {
+			if p != q {
+				hosts[p].SetPeerAddr(q, hosts[q].Addr())
+			}
+		}
+	}
+	defer func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	}()
+
+	fmt.Printf("local cluster up (%s); submitting %d requests\n", cfg, requests)
+	for i := 1; i <= requests; i++ {
+		seq := uint64(i)
+		op := fmt.Sprintf("set key%d value%d", i, i)
+		hosts[1].Do(func() {
+			replicas[1].Submit(&wire.Request{Client: 1, Seq: seq, Op: []byte(op)})
+		})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var done uint64
+		hosts[1].Do(func() { done = replicas[1].LastExecuted() })
+		if done >= uint64(requests) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, p := range cfg.All() {
+		var exec uint64
+		var quorum qs.Quorum
+		hosts[p].Do(func() {
+			exec = replicas[p].LastExecuted()
+			quorum = replicas[p].ActiveQuorum()
+		})
+		fmt.Printf("%s: executed=%d quorum=%s\n", p, exec, quorum)
+	}
+}

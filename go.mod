@@ -1,0 +1,3 @@
+module quorumselect
+
+go 1.22

@@ -1,0 +1,199 @@
+// Package adversary implements the attacker models of the paper: the
+// link-level failure classes of §II (omission, repeated omission,
+// timing, increasing timing), and the protocol-level churn strategies
+// of §VII-B (the Theorem 4 lower-bound adversary against Quorum
+// Selection) and §IX (the leader-targeting adversary against Follower
+// Selection).
+package adversary
+
+import (
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/wire"
+)
+
+// Crash returns a filter that drops every message sent by the given
+// processes — the classic crash failure, detected via missing
+// heartbeats.
+func Crash(faulty ids.ProcSet) sim.Filter {
+	return sim.FilterFunc(func(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+		return sim.Verdict{Drop: faulty.Contains(from)}
+	})
+}
+
+// LinkOmission drops every message on the given directed links — the
+// paper's point that failures "may affect only individual links".
+func LinkOmission(links map[[2]ids.ProcessID]bool) sim.Filter {
+	return sim.FilterFunc(func(from, to ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+		return sim.Verdict{Drop: links[[2]ids.ProcessID{from, to}]}
+	})
+}
+
+// RepeatedOmission drops every k-th message sent by each faulty
+// process (a repeated omission failure: infinitely many omissions,
+// detected eventually rather than permanently).
+type RepeatedOmission struct {
+	Faulty ids.ProcSet
+	Every  int
+	counts map[ids.ProcessID]int
+}
+
+var _ sim.Filter = (*RepeatedOmission)(nil)
+
+// NewRepeatedOmission drops one in every k messages from each faulty
+// process (k ≥ 1; k = 1 drops everything).
+func NewRepeatedOmission(faulty ids.ProcSet, k int) *RepeatedOmission {
+	if k < 1 {
+		k = 1
+	}
+	return &RepeatedOmission{Faulty: faulty, Every: k, counts: make(map[ids.ProcessID]int)}
+}
+
+// Filter implements sim.Filter.
+func (r *RepeatedOmission) Filter(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+	if !r.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	r.counts[from]++
+	return sim.Verdict{Drop: r.counts[from]%r.Every == 0}
+}
+
+// FixedDelay delays every message from the faulty processes by a
+// constant — a (bounded) timing failure that an adaptive failure
+// detector eventually absorbs.
+func FixedDelay(faulty ids.ProcSet, d time.Duration) sim.Filter {
+	return sim.FilterFunc(func(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+		if faulty.Contains(from) {
+			return sim.Verdict{Delay: d}
+		}
+		return sim.Verdict{}
+	})
+}
+
+// GrowingDelay delays messages from the faulty processes by an amount
+// that grows without bound over virtual time — the paper's increasing
+// timing failure, which no bounded timeout absorbs, so it is detected
+// eventually (suspicions are raised again and again).
+type GrowingDelay struct {
+	Faulty ids.ProcSet
+	// Slope is the added delay per second of elapsed virtual time.
+	Slope time.Duration
+}
+
+var _ sim.Filter = (*GrowingDelay)(nil)
+
+// Filter implements sim.Filter.
+func (g *GrowingDelay) Filter(from, _ ids.ProcessID, _ wire.Message, now time.Duration) sim.Verdict {
+	if !g.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	return sim.Verdict{Delay: time.Duration(now.Seconds() * float64(g.Slope))}
+}
+
+// BurstOmission drops everything from the faulty processes during the
+// first On of every On+Off cycle — a repeated omission failure whose
+// omissions create unbounded message gaps, so it is detected eventually
+// (suspicions raised at every burst, canceled when the burst ends) no
+// matter how large the detector's timeout grows.
+type BurstOmission struct {
+	Faulty ids.ProcSet
+	On     time.Duration
+	Off    time.Duration
+}
+
+var _ sim.Filter = (*BurstOmission)(nil)
+
+// Filter implements sim.Filter.
+func (b *BurstOmission) Filter(from, _ ids.ProcessID, _ wire.Message, now time.Duration) sim.Verdict {
+	if !b.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	cycle := b.On + b.Off
+	return sim.Verdict{Drop: now%cycle < b.On}
+}
+
+// SteppedDelay delays messages from the faulty processes by
+// Step × ⌊now/Every⌋ — a monotonically increasing, unbounded delay (the
+// paper's increasing timing failure). Each step opens a gap of ≈Step on
+// every link, so with Step above the detector's maximum timeout, new
+// suspicions are raised (and canceled when the delayed messages land)
+// forever: eventual detection.
+type SteppedDelay struct {
+	Faulty ids.ProcSet
+	Step   time.Duration
+	Every  time.Duration
+}
+
+var _ sim.Filter = (*SteppedDelay)(nil)
+
+// Filter implements sim.Filter.
+func (s *SteppedDelay) Filter(from, _ ids.ProcessID, _ wire.Message, now time.Duration) sim.Verdict {
+	if !s.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	return sim.Verdict{Delay: s.Step * (now / s.Every)}
+}
+
+// JitterDelay adds a deterministic pseudo-random delay in [0, Max) to
+// every message from the faulty processes — a bounded timing failure.
+// Against a fixed timeout below Max it causes false suspicions forever;
+// an adaptive timeout absorbs it after finitely many (the eventual
+// strong accuracy mechanism, ablated in E10).
+type JitterDelay struct {
+	Faulty ids.ProcSet
+	Max    time.Duration
+	Rng    *rand.Rand
+}
+
+var _ sim.Filter = (*JitterDelay)(nil)
+
+// NewJitterDelay builds a JitterDelay with its own seeded source.
+func NewJitterDelay(faulty ids.ProcSet, max time.Duration, seed int64) *JitterDelay {
+	return &JitterDelay{Faulty: faulty, Max: max, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Filter implements sim.Filter.
+func (j *JitterDelay) Filter(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+	if !j.Faulty.Contains(from) || j.Max <= 0 {
+		return sim.Verdict{}
+	}
+	return sim.Verdict{Delay: time.Duration(j.Rng.Int63n(int64(j.Max)))}
+}
+
+// Partition drops every message crossing between Group and its
+// complement until Heal (virtual time); a zero Heal never heals. The
+// paper's channels are reliable, so a partition is modeled as a long
+// run of link omissions that ends.
+type Partition struct {
+	Group ids.ProcSet
+	Heal  time.Duration
+}
+
+var _ sim.Filter = (*Partition)(nil)
+
+// Filter implements sim.Filter.
+func (p *Partition) Filter(from, to ids.ProcessID, _ wire.Message, now time.Duration) sim.Verdict {
+	if p.Heal > 0 && now >= p.Heal {
+		return sim.Verdict{}
+	}
+	return sim.Verdict{Drop: p.Group.Contains(from) != p.Group.Contains(to)}
+}
+
+// Chain combines filters: the first verdict that drops wins; delays
+// accumulate.
+func Chain(filters ...sim.Filter) sim.Filter {
+	return sim.FilterFunc(func(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
+		var total sim.Verdict
+		for _, f := range filters {
+			v := f.Filter(from, to, m, now)
+			if v.Drop {
+				return sim.Verdict{Drop: true}
+			}
+			total.Delay += v.Delay
+		}
+		return total
+	})
+}

@@ -1,0 +1,323 @@
+// Package bchain is a BChain-style chain-replication baseline (Duan et
+// al., OPODIS'14), the second system the paper cites as already doing
+// Quorum Selection. Requests travel down a chain of active replicas and
+// acknowledgments travel back up, so the normal case costs 2(q−1)
+// messages per request instead of the quadratic all-to-all exchange.
+//
+// BChain's original quorum-change mechanism — the aspect the paper
+// criticizes — replaces a suspected chain member with a new, external
+// process that is assumed correct. This package reproduces that
+// behavior: on suspicion, the suspected replica is swapped for the
+// lowest-identifier spare (a process outside the active chain), with no
+// attempt to decide whether the suspicion was justified.
+package bchain
+
+import (
+	"fmt"
+	"time"
+
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// Scope tags this module's expectations in the failure detector.
+const Scope = "bchain"
+
+// Options configures a Replica.
+type Options struct {
+	// SM is the replicated state machine (default KVMachine).
+	SM xpaxos.StateMachine
+	// OnExecute observes executions in slot order.
+	OnExecute func(xpaxos.Execution)
+}
+
+// Replica is one chain replica.
+type Replica struct {
+	opts     Options
+	env      runtime.Env
+	detector *fd.Detector
+	cfg      ids.Config
+	log      logging.Logger
+
+	chain    []ids.ProcessID // active chain, head first
+	nextSlot uint64
+	reqs     map[uint64]*wire.Request
+	acked    map[uint64]bool
+	lastExec uint64
+
+	executions []xpaxos.Execution
+	reconfigs  int
+}
+
+// NewReplica creates a chain replica.
+func NewReplica(opts Options) *Replica {
+	if opts.SM == nil {
+		opts.SM = xpaxos.NewKVMachine()
+	}
+	return &Replica{
+		opts:  opts,
+		reqs:  make(map[uint64]*wire.Request),
+		acked: make(map[uint64]bool),
+	}
+}
+
+// Attach wires the replica to its environment and failure detector.
+func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
+	r.env = env
+	r.detector = detector
+	r.cfg = env.Config()
+	r.log = env.Logger()
+	r.nextSlot = 1
+	r.chain = r.cfg.DefaultQuorum().Sorted()
+}
+
+// Chain returns the current chain order.
+func (r *Replica) Chain() []ids.ProcessID {
+	out := make([]ids.ProcessID, len(r.chain))
+	copy(out, r.chain)
+	return out
+}
+
+// Head returns the chain head (the leader).
+func (r *Replica) Head() ids.ProcessID { return r.chain[0] }
+
+// Reconfigurations returns how many chain replacements happened.
+func (r *Replica) Reconfigurations() int { return r.reconfigs }
+
+// LastExecuted returns the highest executed slot.
+func (r *Replica) LastExecuted() uint64 { return r.lastExec }
+
+// Executions returns the executions observed so far, in order.
+func (r *Replica) Executions() []xpaxos.Execution {
+	out := make([]xpaxos.Execution, len(r.executions))
+	copy(out, r.executions)
+	return out
+}
+
+func (r *Replica) position() int {
+	for i, p := range r.chain {
+		if p == r.env.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Submit injects a client request; non-heads forward to the head.
+func (r *Replica) Submit(req *wire.Request) {
+	if r.Head() != r.env.ID() {
+		r.env.Send(r.Head(), req)
+		return
+	}
+	slot := r.nextSlot
+	r.nextSlot++
+	r.reqs[slot] = req
+	fwd := &wire.ChainForward{
+		Replica: r.env.ID(),
+		Slot:    slot,
+		Req:     *req,
+		Hops:    []ids.ProcessID{r.env.ID()},
+	}
+	runtime.Sign(r.env, fwd)
+	r.forward(fwd)
+}
+
+// forward sends the request to the next chain member and expects the
+// acknowledgment to come back from it.
+func (r *Replica) forward(fwd *wire.ChainForward) {
+	pos := r.position()
+	if pos < 0 || pos+1 >= len(r.chain) {
+		return
+	}
+	next := r.chain[pos+1]
+	r.env.Metrics().Inc("bchain.forward.sent", 1)
+	r.env.Send(next, fwd)
+	slot := fwd.Slot
+	r.detector.Expect(Scope, next, fmt.Sprintf("CHAIN-ACK(s=%d)", slot),
+		func(m wire.Message) bool {
+			a, ok := m.(*wire.ChainAck)
+			return ok && a.Replica == next && a.Slot == slot
+		})
+}
+
+// Deliver demultiplexes chain messages.
+func (r *Replica) Deliver(from ids.ProcessID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.Request:
+		if r.Head() == r.env.ID() {
+			r.Submit(msg)
+		}
+	case *wire.ChainForward:
+		r.onForward(msg)
+	case *wire.ChainAck:
+		r.onAck(msg)
+	default:
+		r.log.Logf(logging.LevelDebug, "bchain: ignoring %s from %s", m.Kind(), from)
+	}
+}
+
+func (r *Replica) onForward(fwd *wire.ChainForward) {
+	pos := r.position()
+	if pos <= 0 {
+		return // head re-delivery or not in chain
+	}
+	req := fwd.Req
+	r.reqs[fwd.Slot] = &req
+	if pos == len(r.chain)-1 {
+		// Tail: commit point; ack travels back up.
+		r.ackSlot(fwd.Slot)
+		return
+	}
+	next := &wire.ChainForward{
+		Replica: r.env.ID(),
+		Slot:    fwd.Slot,
+		Req:     fwd.Req,
+		Hops:    append(append([]ids.ProcessID(nil), fwd.Hops...), r.env.ID()),
+	}
+	runtime.Sign(r.env, next)
+	r.forward(next)
+}
+
+func (r *Replica) onAck(a *wire.ChainAck) {
+	pos := r.position()
+	if pos < 0 || pos+1 >= len(r.chain) {
+		return
+	}
+	if a.Replica != r.chain[pos+1] {
+		return // acks only count from the direct successor
+	}
+	r.ackSlot(a.Slot)
+}
+
+// ackSlot marks the slot acknowledged, executes in order, and passes
+// the ack upstream.
+func (r *Replica) ackSlot(slot uint64) {
+	if r.acked[slot] {
+		return
+	}
+	r.acked[slot] = true
+	r.execute()
+	pos := r.position()
+	if pos <= 0 {
+		return // head: request complete
+	}
+	ack := &wire.ChainAck{Replica: r.env.ID(), Slot: slot}
+	runtime.Sign(r.env, ack)
+	r.env.Metrics().Inc("bchain.ack.sent", 1)
+	r.env.Send(r.chain[pos-1], ack)
+}
+
+func (r *Replica) execute() {
+	for {
+		if !r.acked[r.lastExec+1] {
+			return
+		}
+		req, ok := r.reqs[r.lastExec+1]
+		if !ok {
+			return
+		}
+		r.lastExec++
+		result := r.opts.SM.Apply(req.Op)
+		exec := xpaxos.Execution{
+			Slot:   r.lastExec,
+			Client: req.Client,
+			Seq:    req.Seq,
+			Op:     append([]byte(nil), req.Op...),
+			Result: result,
+		}
+		r.executions = append(r.executions, exec)
+		r.env.Metrics().Inc("bchain.executed", 1)
+		if r.opts.OnExecute != nil {
+			r.opts.OnExecute(exec)
+		}
+	}
+}
+
+// OnSuspected implements BChain-style reconfiguration: replace each
+// suspected chain member with the lowest-identifier spare, assumed
+// correct — the mechanism the paper argues is unsatisfactory, since it
+// consumes a fresh process per (possibly false) suspicion.
+func (r *Replica) OnSuspected(s ids.ProcSet) {
+	for _, suspect := range s.Sorted() {
+		pos := -1
+		for i, p := range r.chain {
+			if p == suspect {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		spare := r.spare()
+		if spare == ids.None {
+			r.log.Logf(logging.LevelInfo, "bchain: no spare left to replace %s", suspect)
+			return
+		}
+		r.chain[pos] = spare
+		r.reconfigs++
+		r.env.Metrics().Inc("bchain.reconfig", 1)
+		r.detector.CancelScope(Scope)
+		r.log.Logf(logging.LevelDebug, "bchain: replaced %s with %s, chain now %v",
+			suspect, spare, r.chain)
+	}
+}
+
+// spare returns the lowest-identifier process outside the chain.
+func (r *Replica) spare() ids.ProcessID {
+	inChain := ids.FromSlice(r.chain)
+	for _, p := range r.cfg.All() {
+		if !inChain.Contains(p) {
+			return p
+		}
+	}
+	return ids.None
+}
+
+// Node runs a chain replica behind a failure detector.
+type Node struct {
+	fdOpts   fd.Options
+	hbPeriod time.Duration // 0 disables heartbeats
+
+	env      runtime.Env
+	Detector *fd.Detector
+	Replica  *Replica
+	HB       *fd.Heartbeater
+}
+
+var _ runtime.Node = (*Node)(nil)
+
+// NewNode creates an unstarted chain node. hbPeriod > 0 enables
+// heartbeats with that period.
+func NewNode(opts Options, fdOpts fd.Options, hbPeriod time.Duration) *Node {
+	return &Node{fdOpts: fdOpts, hbPeriod: hbPeriod, Replica: NewReplica(opts)}
+}
+
+// Init implements runtime.Node.
+func (n *Node) Init(env runtime.Env) {
+	n.env = env
+	n.Detector = fd.New(n.fdOpts)
+	n.Detector.Bind(env,
+		func(from ids.ProcessID, m wire.Message) {
+			if fd.IsHeartbeat(m) {
+				return
+			}
+			n.Replica.Deliver(from, m)
+		},
+		n.Replica.OnSuspected,
+	)
+	n.Replica.Attach(env, n.Detector)
+	if n.hbPeriod > 0 {
+		n.HB = fd.NewHeartbeater(n.Detector, n.hbPeriod)
+		n.HB.Start(env)
+	}
+}
+
+// Receive implements runtime.Node.
+func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
+	n.Detector.Receive(from, m)
+}

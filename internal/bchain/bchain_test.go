@@ -1,0 +1,239 @@
+package bchain_test
+
+import (
+	"testing"
+	"time"
+
+	"quorumselect/internal/bchain"
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/wire"
+)
+
+type silent struct{}
+
+func (silent) Init(runtime.Env)                    {}
+func (silent) Receive(ids.ProcessID, wire.Message) {}
+
+func newChainNet(t *testing.T, n, f int, hb time.Duration, crashed ids.ProcSet) (*sim.Network, map[ids.ProcessID]*bchain.Replica) {
+	t.Helper()
+	cfg := ids.MustConfig(n, f)
+	nodes := make(map[ids.ProcessID]runtime.Node, n)
+	replicas := make(map[ids.ProcessID]*bchain.Replica, n)
+	for _, p := range cfg.All() {
+		if crashed.Contains(p) {
+			nodes[p] = silent{}
+			continue
+		}
+		node := bchain.NewNode(bchain.Options{}, fd.DefaultOptions(), hb)
+		replicas[p] = node.Replica
+		nodes[p] = node
+	}
+	return sim.NewNetwork(cfg, nodes, sim.Options{Latency: sim.ConstantLatency(2 * time.Millisecond)}), replicas
+}
+
+func req(client, seq uint64, op string) *wire.Request {
+	return &wire.Request{Client: client, Seq: seq, Op: []byte(op)}
+}
+
+func TestChainCommits(t *testing.T) {
+	net, replicas := newChainNet(t, 4, 1, 0, ids.NewProcSet())
+	for i := 1; i <= 4; i++ {
+		replicas[1].Submit(req(1, uint64(i), "op"))
+	}
+	net.Run(2 * time.Second)
+	for _, p := range []ids.ProcessID{1, 2, 3} {
+		if replicas[p].LastExecuted() != 4 {
+			t.Errorf("%s executed %d slots, want 4", p, replicas[p].LastExecuted())
+		}
+	}
+	// Linear message complexity: 2(q−1) chain messages per request.
+	m := net.Metrics()
+	q := int64(3)
+	perReq := m.Counter("bchain.forward.sent") + m.Counter("bchain.ack.sent")
+	if want := 4 * 2 * (q - 1); perReq != want {
+		t.Errorf("chain messages = %d, want %d", perReq, want)
+	}
+}
+
+func TestChainForwarding(t *testing.T) {
+	net, replicas := newChainNet(t, 4, 1, 0, ids.NewProcSet())
+	replicas[3].Submit(req(2, 1, "forwarded")) // tail submits, forwards to head
+	net.Run(time.Second)
+	for _, p := range []ids.ProcessID{1, 2, 3} {
+		if replicas[p].LastExecuted() != 1 {
+			t.Errorf("%s did not execute the forwarded request", p)
+		}
+	}
+}
+
+func TestChainReconfigurationOnCrash(t *testing.T) {
+	// The middle chain member p2 is crashed. The forward stalls, the
+	// head's ack expectation fires, and BChain-style reconfiguration
+	// swaps p2 for the spare p4.
+	net, replicas := newChainNet(t, 4, 1, 20*time.Millisecond, ids.NewProcSet(2))
+	ok := net.RunUntil(func() bool {
+		for _, p := range []ids.ProcessID{1, 3} {
+			chain := ids.FromSlice(replicas[p].Chain())
+			if chain.Contains(2) || !chain.Contains(4) {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Second)
+	if !ok {
+		for p, r := range replicas {
+			t.Logf("%s: chain=%v reconfigs=%d", p, r.Chain(), r.Reconfigurations())
+		}
+		t.Fatal("crashed chain member was not replaced")
+	}
+	for _, p := range []ids.ProcessID{1, 3} {
+		if replicas[p].Reconfigurations() == 0 {
+			t.Errorf("%s performed no reconfiguration", p)
+		}
+	}
+}
+
+func TestChainSelectionFollowsQuorum(t *testing.T) {
+	// The §X future-work composition: the chain is the selected
+	// quorum. Crash the middle chain member p2: ack expectations
+	// suspect it, Quorum Selection excludes it, and the chain becomes
+	// {p1,p3,p4} at every correct process — with a committed request
+	// surviving the reconfiguration.
+	cfg := ids.MustConfig(4, 1)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	replicas := make(map[ids.ProcessID]*bchain.SelectedReplica, cfg.N)
+	for _, p := range cfg.All() {
+		if p == 2 {
+			nodes[p] = silent{}
+			continue
+		}
+		nodeOpts := fdNodeOpts()
+		node, r := bchain.NewSelectionNode(bchain.Options{}, nodeOpts)
+		replicas[p] = r
+		nodes[p] = node
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Latency: sim.ConstantLatency(2 * time.Millisecond)})
+	replicas[1].Submit(req(1, 1, "op"))
+	wantChain := []ids.ProcessID{1, 3, 4}
+	ok := net.RunUntil(func() bool {
+		for _, p := range []ids.ProcessID{1, 3, 4} {
+			got := replicas[p].Chain()
+			if len(got) != len(wantChain) {
+				return false
+			}
+			for i := range wantChain {
+				if got[i] != wantChain[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}, 20*time.Second)
+	if !ok {
+		for p, r := range replicas {
+			t.Logf("%s: chain=%v", p, r.Chain())
+		}
+		t.Fatal("chain did not follow the selected quorum")
+	}
+	// The in-flight request is re-forwarded along the new chain and
+	// executes everywhere.
+	ok = net.RunUntil(func() bool {
+		for _, p := range []ids.ProcessID{1, 3, 4} {
+			if replicas[p].LastExecuted() < 1 {
+				return false
+			}
+		}
+		return true
+	}, 20*time.Second)
+	if !ok {
+		t.Fatal("request did not commit on the reconfigured chain")
+	}
+}
+
+func TestChainSelectionNewcomerCatchesUp(t *testing.T) {
+	// Slots 1..3 commit on chain {1,2,3} while p4 is outside it. p2
+	// then crashes; selection installs {1,3,4} and the head's full log
+	// replay must bring p4 up to date so it executes from slot 1.
+	cfg := ids.MustConfig(4, 1)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	replicas := make(map[ids.ProcessID]*bchain.SelectedReplica, cfg.N)
+	wrappers := make(map[ids.ProcessID]*crashableNode, cfg.N)
+	for _, p := range cfg.All() {
+		node, r := bchain.NewSelectionNode(bchain.Options{}, fdNodeOpts())
+		replicas[p] = r
+		wrappers[p] = &crashableNode{inner: node}
+		nodes[p] = wrappers[p]
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Latency: sim.ConstantLatency(2 * time.Millisecond)})
+	for i := 1; i <= 3; i++ {
+		replicas[1].Submit(req(1, uint64(i), "op"))
+	}
+	if !net.RunUntil(func() bool { return replicas[1].LastExecuted() >= 3 }, 10*time.Second) {
+		t.Fatal("setup: chain did not commit slots 1..3")
+	}
+	if replicas[4].LastExecuted() != 0 {
+		t.Fatalf("setup: outsider p4 executed %d", replicas[4].LastExecuted())
+	}
+	wrappers[2].crashed = true
+	replicas[1].Submit(req(1, 4, "op"))
+	ok := net.RunUntil(func() bool {
+		for _, p := range []ids.ProcessID{1, 3, 4} {
+			if replicas[p].LastExecuted() < 4 {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	if !ok {
+		for p, r := range replicas {
+			t.Logf("%s: chain=%v executed=%d", p, r.Chain(), r.LastExecuted())
+		}
+		t.Fatal("chain newcomer did not catch up after reconfiguration")
+	}
+}
+
+// crashableNode allows killing a live node mid-run.
+type crashableNode struct {
+	inner   runtime.Node
+	crashed bool
+}
+
+func (c *crashableNode) Init(env runtime.Env) { c.inner.Init(env) }
+func (c *crashableNode) Receive(from ids.ProcessID, m wire.Message) {
+	if !c.crashed {
+		c.inner.Receive(from, m)
+	}
+}
+
+// fdNodeOpts builds node options with heartbeats for crash detection.
+func fdNodeOpts() core.NodeOptions {
+	opts := core.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 20 * time.Millisecond
+	return opts
+}
+
+func TestChainSpareExhaustion(t *testing.T) {
+	// n = q (f = 0): there is no spare; reconfiguration must not panic
+	// and the chain stays as is.
+	cfg := ids.MustConfig(3, 0)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	replicas := make(map[ids.ProcessID]*bchain.Replica, cfg.N)
+	for _, p := range cfg.All() {
+		node := bchain.NewNode(bchain.Options{}, fd.DefaultOptions(), 0)
+		replicas[p] = node.Replica
+		nodes[p] = node
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{})
+	replicas[1].OnSuspected(ids.NewProcSet(2))
+	net.Run(time.Second)
+	if replicas[1].Reconfigurations() != 0 {
+		t.Error("reconfigured without a spare")
+	}
+	if got := ids.FromSlice(replicas[1].Chain()); !got.Contains(2) {
+		t.Error("chain changed without a spare")
+	}
+}

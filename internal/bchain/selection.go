@@ -1,0 +1,106 @@
+package bchain
+
+import (
+	"sort"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// This file implements the paper's §X future-work case: "other special
+// cases of Quorum Selection, e.g. when processes are communicating
+// along a chain". Instead of BChain's replace-with-an-assumed-correct
+// spare, the chain is the quorum issued by Algorithm 1 (members in
+// identifier order), so chain changes inherit Quorum Selection's
+// properties: they are driven by recorded suspicions, converge at all
+// correct processes (Agreement), and a worst-case adversary forces at
+// most O(f²) of them (Theorem 3) — no unbounded supply of fresh spares
+// is assumed.
+
+// SelectedReplica is a chain replica whose chain follows the quorum
+// selection module instead of spare replacement. It implements
+// core.Application.
+type SelectedReplica struct {
+	*Replica
+}
+
+var _ core.Application = (*SelectedReplica)(nil)
+
+// NewSelectedReplica wraps a chain replica for composition with the
+// quorum-selection stack.
+func NewSelectedReplica(opts Options) *SelectedReplica {
+	return &SelectedReplica{Replica: NewReplica(opts)}
+}
+
+// Attach implements core.Application.
+func (r *SelectedReplica) Attach(env runtime.Env, detector *fd.Detector) {
+	r.Replica.Attach(env, detector)
+}
+
+// Deliver implements core.Application.
+func (r *SelectedReplica) Deliver(from ids.ProcessID, m wire.Message) {
+	r.Replica.Deliver(from, m)
+}
+
+// OnQuorum implements core.Application: install the selected quorum as
+// the new chain, members in identifier order (the deterministic order
+// every correct process derives from the same quorum).
+func (r *SelectedReplica) OnQuorum(q ids.Quorum) {
+	newChain := ids.NewQuorum(q.Members).Members
+	if sameChain(r.chain, newChain) {
+		return
+	}
+	r.chain = append(r.chain[:0:0], newChain...)
+	r.reconfigs++
+	r.env.Metrics().Inc("bchain.reconfig", 1)
+	r.detector.CancelScope(Scope)
+	// The head replays the whole log down the new chain: in-flight
+	// slots so they commit, already-acknowledged slots so a member
+	// that was outside the old chain can execute the full prefix
+	// (receivers deduplicate; re-acks are idempotent). A production
+	// system would checkpoint instead of replaying from slot 1 — the
+	// xpaxos package shows that machinery; this baseline keeps
+	// BChain's trust model, where the chain order vouches for history.
+	if r.Head() == r.env.ID() {
+		slots := make([]uint64, 0, len(r.reqs))
+		for slot := range r.reqs {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, slot := range slots {
+			fwd := &wire.ChainForward{
+				Replica: r.env.ID(),
+				Slot:    slot,
+				Req:     *r.reqs[slot],
+				Hops:    []ids.ProcessID{r.env.ID()},
+			}
+			runtime.Sign(r.env, fwd)
+			r.forward(fwd)
+		}
+	}
+}
+
+func sameChain(a, b []ids.ProcessID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSelectionNode composes a chain replica with the full
+// quorum-selection stack of Fig 1: suspicions raised by the chain's
+// ack expectations (or heartbeats) flow into Algorithm 1, and the
+// issued quorums become the chain.
+func NewSelectionNode(opts Options, nodeOpts core.NodeOptions) (*core.Node, *SelectedReplica) {
+	r := NewSelectedReplica(opts)
+	nodeOpts.App = r
+	return core.NewNode(nodeOpts), r
+}

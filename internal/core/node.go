@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/wire"
+)
+
+// Application is the top module of Figure 1: it receives every
+// delivered non-UPDATE message and every ⟨QUORUM⟩ event, and may issue
+// expectations and detections through the Detector it is given in
+// Attach.
+type Application interface {
+	// Attach hands the application its environment and failure
+	// detector before any event is delivered.
+	Attach(env runtime.Env, detector *fd.Detector)
+	// Deliver receives an authenticated application message.
+	Deliver(from ids.ProcessID, m wire.Message)
+	// OnQuorum receives ⟨QUORUM, Q⟩ from the selection module.
+	OnQuorum(q ids.Quorum)
+}
+
+// NodeOptions configures a composed quorum-selection process.
+type NodeOptions struct {
+	// FD configures the failure detector.
+	FD fd.Options
+	// Store configures the suspicion store.
+	Store suspicion.Options
+	// HeartbeatPeriod enables the §II heartbeat traffic when positive.
+	HeartbeatPeriod time.Duration
+	// App is the optional application module (e.g. an XPaxos replica).
+	App Application
+}
+
+// DefaultNodeOptions returns the standard composition: adaptive failure
+// detection, update forwarding, heartbeats every 25ms.
+func DefaultNodeOptions() NodeOptions {
+	return NodeOptions{
+		FD:              fd.DefaultOptions(),
+		Store:           suspicion.DefaultOptions(),
+		HeartbeatPeriod: 25 * time.Millisecond,
+	}
+}
+
+// Node is one complete process of the paper's architecture (Fig 1):
+// network → failure detector → {suspicion store → selector, application}.
+// It implements runtime.Node for both the simulator and the TCP
+// transport.
+type Node struct {
+	opts NodeOptions
+
+	env      runtime.Env
+	Detector *fd.Detector
+	Store    *suspicion.Store
+	Selector *Selector
+	HB       *fd.Heartbeater
+
+	quorumLog []ids.Quorum
+}
+
+var _ runtime.Node = (*Node)(nil)
+
+// NewNode creates an unstarted node; the simulator or transport calls
+// Init. A failure-detector base timeout below 3× the heartbeat period
+// is raised to it: an expectation that cannot outlive the gap between
+// two heartbeats suspects every correct process on schedule.
+func NewNode(opts NodeOptions) *Node {
+	if opts.HeartbeatPeriod > 0 && opts.FD.BaseTimeout < 3*opts.HeartbeatPeriod {
+		opts.FD.BaseTimeout = 3 * opts.HeartbeatPeriod
+	}
+	return &Node{opts: opts}
+}
+
+// Init implements runtime.Node.
+func (n *Node) Init(env runtime.Env) {
+	n.env = env
+	n.Detector = fd.New(n.opts.FD)
+	n.Store = suspicion.New(env.Config(), n.opts.Store)
+	n.Selector = NewSelector(env, n.Store, func(q ids.Quorum) {
+		n.quorumLog = append(n.quorumLog, q)
+		if n.opts.App != nil {
+			n.opts.App.OnQuorum(q)
+		}
+	})
+	n.Store.Bind(env, n.Selector.UpdateQuorum)
+	n.Detector.Bind(env, n.deliver, n.Selector.OnSuspected)
+	if n.opts.App != nil {
+		n.opts.App.Attach(env, n.Detector)
+	}
+	if n.opts.HeartbeatPeriod > 0 {
+		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
+		n.HB.Start(env)
+	}
+}
+
+// Receive implements runtime.Node: all network traffic enters through
+// the failure detector (Fig 1).
+func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
+	n.Detector.Receive(from, m)
+}
+
+// deliver demultiplexes authenticated messages: UPDATEs go to the
+// suspicion store, heartbeats are consumed by the failure detector's
+// expectations, everything else goes to the application.
+func (n *Node) deliver(from ids.ProcessID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.Update:
+		n.Store.HandleUpdate(msg)
+	case *wire.Heartbeat:
+		// Matching already happened inside the detector; heartbeats
+		// carry no payload for the application.
+	default:
+		if n.opts.App != nil {
+			n.opts.App.Deliver(from, m)
+		}
+	}
+}
+
+// Quorums returns every quorum issued so far, in order.
+func (n *Node) Quorums() []ids.Quorum {
+	out := make([]ids.Quorum, len(n.quorumLog))
+	copy(out, n.quorumLog)
+	return out
+}
+
+// CurrentQuorum returns the selector's current quorum.
+func (n *Node) CurrentQuorum() ids.Quorum { return n.Selector.Current() }

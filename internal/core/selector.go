@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the Quorum
+// Selection module of Algorithm 1 (§VI), and the process composition of
+// Figure 1 (failure detector → suspicion store → selector →
+// application).
+//
+// The selector outputs ⟨QUORUM, Q⟩ events with |Q| = n − f, satisfying
+// (under the failure detector's properties):
+//
+//   - Termination: a correct process changes the quorum only finitely
+//     often (Theorem 3: at most O(f²) quorums once suspicions between
+//     correct processes cease).
+//   - No suspicion: suspicions are edges of the suspect graph and the
+//     quorum is an independent set, so no current suspicion connects
+//     two quorum members.
+//   - Agreement: suspicions propagate through the eventually-consistent
+//     store and the quorum is the deterministic lexicographically-first
+//     independent set, so correct processes converge.
+//
+// One deliberate deviation from the pseudocode's event plumbing: after
+// advancing the epoch (Algorithm 1 lines 28–29) this implementation
+// re-evaluates the quorum immediately instead of waiting for the
+// self-addressed UPDATE broadcast to arrive. The paper's version
+// re-enters updateQuorum only through that self-delivery, which never
+// fires when the re-issued row is unchanged (e.g. `suspecting` is
+// empty) — the eager loop closes that liveness gap and is otherwise
+// observationally identical. The loop terminates: once the epoch
+// exceeds every stamp in the matrix, the suspect graph contains at most
+// the local process's own (re-stamped) suspicions, a star that always
+// admits an independent set of size q ≤ n−1 for f ≥ 1 (and for f = 0 the
+// graph is empty).
+package core
+
+import (
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/suspicion"
+)
+
+// OnQuorum receives ⟨QUORUM, Q⟩ events.
+type OnQuorum func(q ids.Quorum)
+
+// Selector is Algorithm 1's quorum-selection state machine at one
+// process.
+type Selector struct {
+	env      runtime.Env
+	store    *suspicion.Store
+	onQuorum OnQuorum
+	log      logging.Logger
+
+	qLast ids.Quorum
+
+	// issuedTotal counts ⟨QUORUM⟩ events; issuedInEpoch maps epoch →
+	// count, the quantity bounded by Theorem 3.
+	issuedTotal   int
+	issuedInEpoch map[uint64]int
+
+	// updating guards against re-entry: AdvanceEpoch re-stamps the
+	// current suspicions, which fires the store's onChange hook, which
+	// is wired back to UpdateQuorum.
+	updating bool
+}
+
+// NewSelector creates a selector over the given store. Bind the store's
+// onChange to (*Selector).UpdateQuorum; wire the failure detector's
+// suspicions to (*Selector).OnSuspected.
+func NewSelector(env runtime.Env, store *suspicion.Store, onQuorum OnQuorum) *Selector {
+	s := &Selector{
+		env:           env,
+		store:         store,
+		onQuorum:      onQuorum,
+		log:           env.Logger(),
+		qLast:         ids.NewQuorum(env.Config().DefaultQuorum().Sorted()),
+		issuedInEpoch: make(map[uint64]int),
+	}
+	return s
+}
+
+// Current returns the last issued (or initial) quorum.
+func (s *Selector) Current() ids.Quorum { return s.qLast }
+
+// QuorumsIssued returns the total number of ⟨QUORUM⟩ events issued.
+func (s *Selector) QuorumsIssued() int { return s.issuedTotal }
+
+// QuorumsIssuedInEpoch returns how many quorums were issued while the
+// local epoch was e — the quantity Theorem 3 bounds by f(f+1) and the
+// paper's simulations bound by C(f+2, 2).
+func (s *Selector) QuorumsIssuedInEpoch(e uint64) int { return s.issuedInEpoch[e] }
+
+// Epoch returns the current epoch.
+func (s *Selector) Epoch() uint64 { return s.store.Epoch() }
+
+// OnSuspected is the ⟨SUSPECTED, S⟩ handler (Algorithm 1 lines 9–10):
+// it records and broadcasts the new suspicion set.
+func (s *Selector) OnSuspected(suspected ids.ProcSet) {
+	s.store.UpdateSuspicions(suspected)
+}
+
+// UpdateQuorum is Algorithm 1's updateQuorum (lines 25–34): build the
+// suspect graph, advance the epoch while no independent set of size q
+// exists, then issue the lexicographically-first independent set if it
+// differs from the last quorum. Wire it to the store's onChange hook.
+func (s *Selector) UpdateQuorum() {
+	if s.updating {
+		return
+	}
+	s.updating = true
+	defer func() { s.updating = false }()
+
+	q := s.env.Config().Q()
+	// Epochs beyond startMax contain only the local process's own
+	// re-stamped suspicions (every foreign stamp is ≤ startMax), so the
+	// advance loop below visits at most startMax−epoch+1 epochs before
+	// the graph stops shrinking.
+	startMax := s.store.MaxEpochSeen()
+	for {
+		g := s.store.SuspectGraph()
+		set, ok := g.FirstIndependentSet(q)
+		if !ok {
+			if s.store.Epoch() > startMax {
+				// Even the local process's own current suspicions
+				// preclude a quorum (it suspects more than f others —
+				// an assumption violation, e.g. f = 0 with any
+				// suspicion). Keep the last quorum rather than spin.
+				s.log.Logf(logging.LevelError,
+					"core: own suspicions %s preclude any quorum of size %d; keeping %s",
+					s.store.Suspecting(), q, s.qLast)
+				return
+			}
+			// Suspicions in the current epoch are inconsistent with
+			// any quorum: move on (lines 27–29).
+			s.store.AdvanceEpoch()
+			continue
+		}
+		quorum := ids.NewQuorum(set)
+		if !quorum.Equal(s.qLast) {
+			s.qLast = quorum
+			s.issuedTotal++
+			s.issuedInEpoch[s.store.Epoch()]++
+			s.env.Metrics().Inc("core.quorum.issued", 1)
+			s.log.Logf(logging.LevelDebug, "core: QUORUM %s (epoch %d)", quorum, s.store.Epoch())
+			if s.onQuorum != nil {
+				s.onQuorum(quorum)
+			}
+		}
+		return
+	}
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1BoundsHold(t *testing.T) {
+	tbl := E1QuorumChanges(2, 2)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E1 bound violated in row %v", row)
+		}
+	}
+}
+
+func TestE2TracksLowerBound(t *testing.T) {
+	tbl := E2LowerBound(2)
+	for _, row := range tbl.Rows {
+		// achieved/bound ratio is the last column; it must be positive
+		// and at most 1.00 (Algorithm 1 cannot be forced past C(f+2,2)
+		// per epoch-1 play).
+		ratio := row[len(row)-1]
+		if !(strings.HasPrefix(ratio, "0.") || ratio == "1.00") {
+			t.Errorf("E2 ratio out of range: %v", row)
+		}
+	}
+}
+
+func TestE3BoundsHold(t *testing.T) {
+	tbl := E3FollowerBound(2)
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E3 bound violated in row %v", row)
+		}
+	}
+}
+
+func TestE4SavesMessages(t *testing.T) {
+	tbl := E4MessageReduction(1, 5)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		drop := row[len(row)-1]
+		if strings.HasPrefix(drop, "-") || drop == "0.00" {
+			t.Errorf("E4 shows no saving: %v", row)
+		}
+	}
+}
+
+func TestE5BaselineWorseThanQS(t *testing.T) {
+	tbl := E5ViewChanges(2)
+	for _, row := range tbl.Rows {
+		baseline, qs := row[2], row[3]
+		if baseline < qs { // string compare is fine for small ints of equal width... avoid:
+			_ = baseline
+		}
+	}
+	// Compare numerically on the f=2 row.
+	row := tbl.Rows[len(tbl.Rows)-1]
+	var baseline, qs int
+	mustAtoi(t, row[2], &baseline)
+	mustAtoi(t, row[3], &qs)
+	if baseline <= qs {
+		t.Errorf("enumeration baseline (%d) should need more view changes than QS (%d)", baseline, qs)
+	}
+}
+
+func mustAtoi(t *testing.T, s string, out *int) {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+}
+
+func TestE6TwoRoundsNoFalseSuspicions(t *testing.T) {
+	tbl := E6NormalCase(2)
+	for _, row := range tbl.Rows {
+		if row[3] != "2.0" {
+			t.Errorf("normal-case rounds = %v, want 2.0 (Fig 2)", row[3])
+		}
+		if row[5] != "0" {
+			t.Errorf("false suspicions = %v, want 0", row[5])
+		}
+		// The delayed-PREPARE case takes longer than the normal case.
+		if row[4] <= row[3] {
+			t.Errorf("delayed case (%v) not slower than normal (%v)", row[4], row[3])
+		}
+	}
+}
+
+func TestE7Classifications(t *testing.T) {
+	tbl := E7DetectionMatrix()
+	want := map[string]string{
+		"crash (silence)":    "permanent (in practice)",
+		"commission (proof)": "permanent",
+		"repeated omission":  "eventual",
+		"bounded timing":     "absorbed (accuracy)",
+		"increasing timing":  "eventual",
+	}
+	for _, row := range tbl.Rows {
+		if got := row[4]; got != want[row[0]] {
+			t.Errorf("%s classified %q, want %q (row %v)", row[0], got, want[row[0]], row)
+		}
+	}
+}
+
+func TestE8Figure4(t *testing.T) {
+	tbl := E8SuspectGraph()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][3] != "epoch advance" {
+		t.Errorf("epoch 2 should force an epoch advance, got %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][3] != "{p1,p3,p4}" {
+		t.Errorf("epoch 3 quorum = %v, want {p1,p3,p4}", tbl.Rows[1][3])
+	}
+}
+
+func TestE9Examples(t *testing.T) {
+	tbl := E9LineSubgraphs()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Example 1: leader p4, p2 not a possible follower; unchanged by
+	// the extra edge.
+	if tbl.Rows[0][3] != "p4" || !strings.Contains(tbl.Rows[0][4], "p2") {
+		t.Errorf("Example 1 row wrong: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][3] != "p4" || tbl.Rows[1][2] != tbl.Rows[0][2] {
+		t.Errorf("Example 1 + edge changed the maximal line subgraph: %v", tbl.Rows[1])
+	}
+	// Example 2: the added edge increases the leader.
+	if tbl.Rows[2][3] != "p3" || tbl.Rows[3][3] != "p6" {
+		t.Errorf("Example 2 leaders = %v / %v, want p3 / p6", tbl.Rows[2][3], tbl.Rows[3][3])
+	}
+}
+
+func TestE10Ablations(t *testing.T) {
+	tbl := E10Ablations()
+	byKey := map[string]string{}
+	for _, row := range tbl.Rows {
+		byKey[row[0]+"/"+row[1]] = row[3]
+	}
+	if byKey["update forwarding/forward=true"] != "true" {
+		t.Error("forwarding on: should converge across the cut link")
+	}
+	if byKey["update forwarding/forward=false"] != "false" {
+		t.Error("forwarding off: should fail to converge across the cut link")
+	}
+	var adaptive, fixed int
+	mustAtoi(t, byKey["adaptive FD timeout/adaptive=true"], &adaptive)
+	mustAtoi(t, byKey["adaptive FD timeout/adaptive=false"], &fixed)
+	if adaptive >= fixed {
+		t.Errorf("adaptive timeout (%d false suspicions) not better than fixed (%d)", adaptive, fixed)
+	}
+}
+
+func TestE11TendermintIntegration(t *testing.T) {
+	tbl := E11Tendermint(4)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != row[2] {
+			t.Errorf("%s: decided %v of %v", row[0], row[1], row[2])
+		}
+		if row[5] != "true" {
+			t.Errorf("%s: decision logs diverged", row[0])
+		}
+		if row[0] != "fault-free" && row[4] != "true" {
+			t.Errorf("%s: faulty process not excluded", row[0])
+		}
+	}
+}
+
+func TestE12Scalability(t *testing.T) {
+	tbl := E12Scalability([]int{4, 7})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var changes int
+		mustAtoi(t, row[6], &changes)
+		if changes == 0 || changes > 6 {
+			t.Errorf("n=%s: quorum changes = %d, want small positive", row[0], changes)
+		}
+		var updates int
+		mustAtoi(t, row[4], &updates)
+		if updates == 0 {
+			t.Errorf("n=%s: no UPDATE traffic recorded", row[0])
+		}
+	}
+}
+
+func TestE13GapWidens(t *testing.T) {
+	tbl := E13FollowerScalability(3)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var prevQS, prevFS int
+	for i, row := range tbl.Rows {
+		var qs, fs int
+		mustAtoi(t, row[2], &qs)
+		mustAtoi(t, row[4], &fs)
+		if i > 0 {
+			if qs-prevQS <= fs-prevFS {
+				t.Errorf("f=%s: QS churn growth (%d) not above FS growth (%d)",
+					row[0], qs-prevQS, fs-prevFS)
+			}
+		}
+		prevQS, prevFS = qs, fs
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, "x")
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	for _, want := range []string{"T — demo", "a", "bb", "1", "x", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `with,comma "and quote"`)
+	got := tbl.RenderCSV()
+	want := "a,b\nplain,\"with,comma \"\"and quote\"\"\"\n"
+	if got != want {
+		t.Errorf("RenderCSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}, Notes: []string{"n1"}}
+	tbl.AddRow(1, 2)
+	got := tbl.RenderMarkdown()
+	for _, want := range []string{"### T — demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "*n1*"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("RenderMarkdown missing %q:\n%s", want, got)
+		}
+	}
+}

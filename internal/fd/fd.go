@@ -1,0 +1,358 @@
+// Package fd implements the paper's failure-detection module (§IV-B):
+// a Byzantine-environment failure detector driven by expectations the
+// application issues.
+//
+// Interface mapping (paper event → API):
+//
+//	⟨RECEIVE, m, i⟩    → Detector.Receive (called by the network layer)
+//	⟨DELIVER, m, i⟩    → the Deliver callback (to application/selector)
+//	⟨EXPECT, P, i⟩     → Detector.Expect (predicate + sender)
+//	⟨SUSPECTED, S⟩     → the OnSuspect callback (whole current set S)
+//	⟨DETECTED, i⟩      → Detector.Detected (permanent, from application)
+//	⟨CANCEL⟩           → Detector.Cancel / Detector.CancelScope
+//
+// Properties (and how they are achieved):
+//
+//   - Expectation completeness: every uncanceled expectation either
+//     matches a delivered message or its timer fires and the sender is
+//     suspected (at least once).
+//   - Detection completeness: Detected(i) suspects i forever.
+//   - Eventual strong accuracy: a suspicion raised by a timeout is
+//     canceled when a matching message later arrives, and the timeout
+//     for that sender doubles — the standard eventual-synchrony
+//     construction, so false suspicions eventually cease (ablated in
+//     experiment E10).
+//
+// Scopes: the paper's ⟨CANCEL⟩ cancels "previously issued
+// expectations". Because several modules of one process (application,
+// follower selection) issue expectations independently, expectations
+// carry a scope tag and each module cancels only its own scope;
+// Cancel() clears every scope.
+package fd
+
+import (
+	"fmt"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// Predicate is the paper's P: it decides whether a delivered message
+// satisfies an expectation.
+type Predicate func(m wire.Message) bool
+
+// Deliver receives authenticated messages (the ⟨DELIVER, m, i⟩ event).
+type Deliver func(from ids.ProcessID, m wire.Message)
+
+// OnSuspect receives the full current suspicion set whenever it changes
+// (the ⟨SUSPECTED, S⟩ event).
+type OnSuspect func(suspected ids.ProcSet)
+
+// Options tunes a Detector.
+type Options struct {
+	// BaseTimeout is the initial per-sender expectation timeout. The
+	// zero value selects DefaultBaseTimeout.
+	BaseTimeout time.Duration
+	// MaxTimeout caps adaptive growth. Zero selects DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// Adaptive doubles a sender's timeout whenever a suspicion against
+	// it proves false. Disabling it (for the E10 ablation) keeps
+	// timeouts fixed and sacrifices eventual strong accuracy under
+	// late synchrony.
+	Adaptive bool
+}
+
+// Default timeouts; chosen ≈ 4× and 100× the simulator's default link
+// latency.
+const (
+	DefaultBaseTimeout = 40 * time.Millisecond
+	DefaultMaxTimeout  = 1 * time.Second
+)
+
+// DefaultOptions returns the standard adaptive configuration.
+func DefaultOptions() Options {
+	return Options{BaseTimeout: DefaultBaseTimeout, MaxTimeout: DefaultMaxTimeout, Adaptive: true}
+}
+
+type expectation struct {
+	scope   string
+	from    ids.ProcessID
+	desc    string
+	pred    Predicate
+	timer   runtime.Timer
+	overdue bool // timer fired; suspicion raised and still matchable
+}
+
+// Detector is the failure-detector module of one process.
+type Detector struct {
+	env       runtime.Env
+	opts      Options
+	deliver   Deliver
+	onSuspect OnSuspect
+
+	expects  []*expectation
+	detected map[ids.ProcessID]bool
+	timeout  map[ids.ProcessID]time.Duration
+
+	// raised/canceled counters, used to distinguish the paper's
+	// "eventual" from "permanent" detection in experiments.
+	raised   map[ids.ProcessID]int
+	canceled map[ids.ProcessID]int
+
+	log logging.Logger
+}
+
+// New returns an unbound Detector; call Bind before use.
+func New(opts Options) *Detector {
+	if opts.BaseTimeout <= 0 {
+		opts.BaseTimeout = DefaultBaseTimeout
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = DefaultMaxTimeout
+	}
+	if opts.MaxTimeout < opts.BaseTimeout {
+		opts.MaxTimeout = opts.BaseTimeout
+	}
+	return &Detector{
+		opts:     opts,
+		detected: make(map[ids.ProcessID]bool),
+		timeout:  make(map[ids.ProcessID]time.Duration),
+		raised:   make(map[ids.ProcessID]int),
+		canceled: make(map[ids.ProcessID]int),
+	}
+}
+
+// Bind attaches the detector to its process environment and callbacks.
+// deliver must not be nil; onSuspect may be nil when a caller polls
+// Suspected instead.
+func (d *Detector) Bind(env runtime.Env, deliver Deliver, onSuspect OnSuspect) {
+	if deliver == nil {
+		panic("fd: Bind requires a deliver callback")
+	}
+	d.env = env
+	d.deliver = deliver
+	d.onSuspect = onSuspect
+	d.log = env.Logger()
+}
+
+// Receive is the network entry point (⟨RECEIVE, m, i⟩). It
+// authenticates content-signed messages, matches expectations, and
+// delivers. Messages whose signature does not verify are dropped: they
+// cannot be attributed (the link sender may be an innocent forwarder),
+// so they produce neither delivery nor detection.
+//
+// For content-signed messages the attributed sender is the signer, not
+// the link-level sender: protocols forward signed messages on behalf of
+// their originator (UPDATE in Algorithm 1 line 23, FOLLOWERS in
+// Algorithm 2 line 36), and a forwarded copy must still satisfy an
+// expectation against the originator — that indirect propagation is
+// what Lemmas 1 and 6 count on.
+func (d *Detector) Receive(from ids.ProcessID, m wire.Message) {
+	if signed, ok := m.(wire.Signed); ok {
+		if err := runtime.Verify(d.env, signed); err != nil {
+			d.env.Metrics().Inc("fd.dropped.badsig", 1)
+			d.log.Logf(logging.LevelDebug, "fd: dropping %s from %s: %v", m.Kind(), from, err)
+			return
+		}
+		from = signed.Signer()
+	}
+	d.match(from, m)
+	d.deliver(from, m)
+}
+
+// match consumes every outstanding expectation the message satisfies
+// and cancels suspicions that are no longer justified.
+func (d *Detector) match(from ids.ProcessID, m wire.Message) {
+	matchedOverdue := false
+	kept := d.expects[:0]
+	for _, e := range d.expects {
+		if e.from == from && e.pred(m) {
+			if e.timer != nil {
+				e.timer.Stop()
+			}
+			if e.overdue {
+				matchedOverdue = true
+			}
+			d.env.Metrics().Inc("fd.expectation.matched", 1)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	d.expects = kept
+	if matchedOverdue {
+		// The suspicion against from proved false: back off its
+		// timeout (eventual strong accuracy) and re-publish if it is
+		// no longer suspected.
+		if d.opts.Adaptive {
+			t := d.timeoutFor(from) * 2
+			if t > d.opts.MaxTimeout {
+				t = d.opts.MaxTimeout
+			}
+			d.timeout[from] = t
+		}
+		if !d.suspectedNow(from) {
+			d.canceled[from]++
+			d.env.Metrics().Inc("fd.suspicion.canceled", 1)
+			d.publish()
+		}
+	}
+}
+
+// Expect registers the paper's ⟨EXPECT, P, i⟩: a message matching pred
+// is expected from process from. scope tags the issuing module for
+// CancelScope; desc is used in logs only. If no matching message is
+// delivered within the sender's current timeout, from is suspected.
+func (d *Detector) Expect(scope string, from ids.ProcessID, desc string, pred Predicate) {
+	if pred == nil {
+		panic("fd: Expect requires a predicate")
+	}
+	e := &expectation{scope: scope, from: from, desc: desc, pred: pred}
+	e.timer = d.env.After(d.timeoutFor(from), func() { d.expire(e) })
+	d.expects = append(d.expects, e)
+	d.env.Metrics().Inc("fd.expectation.issued", 1)
+}
+
+// expire fires when an expectation's timer lapses unmatched.
+func (d *Detector) expire(e *expectation) {
+	// The expectation may have been removed (matched or canceled)
+	// after the timer fired but before this callback ran.
+	found := false
+	for _, cur := range d.expects {
+		if cur == e {
+			found = true
+			break
+		}
+	}
+	if !found || e.overdue {
+		return
+	}
+	alreadySuspected := d.suspectedNow(e.from)
+	e.overdue = true
+	d.env.Metrics().Inc("fd.expectation.expired", 1)
+	if !alreadySuspected {
+		d.raised[e.from]++
+		d.env.Metrics().Inc("fd.suspicion.raised", 1)
+		d.log.Logf(logging.LevelDebug, "fd: suspecting %s (no %s within %v)",
+			e.from, e.desc, d.timeoutFor(e.from))
+		d.publish()
+	}
+}
+
+// Detected is the paper's ⟨DETECTED, i⟩: the application found a proof
+// of misbehavior; i is suspected forever.
+func (d *Detector) Detected(i ids.ProcessID) {
+	if d.detected[i] {
+		return
+	}
+	d.detected[i] = true
+	d.raised[i]++
+	d.env.Metrics().Inc("fd.detected", 1)
+	d.log.Logf(logging.LevelInfo, "fd: application detected %s as faulty", i)
+	d.publish()
+}
+
+// Cancel clears every outstanding expectation in every scope and the
+// suspicions they caused (the paper's ⟨CANCEL⟩, issued e.g. during view
+// changes when pending PREPAREs will legitimately never arrive).
+// Detected processes remain suspected forever.
+func (d *Detector) Cancel() { d.cancelWhere(func(*expectation) bool { return true }) }
+
+// CancelScope clears the expectations (and their suspicions) issued
+// under one scope tag, leaving other modules' expectations standing.
+func (d *Detector) CancelScope(scope string) {
+	d.cancelWhere(func(e *expectation) bool { return e.scope == scope })
+}
+
+func (d *Detector) cancelWhere(drop func(*expectation) bool) {
+	before := d.Suspected()
+	kept := d.expects[:0]
+	for _, e := range d.expects {
+		if drop(e) {
+			if e.timer != nil {
+				e.timer.Stop()
+			}
+			d.env.Metrics().Inc("fd.expectation.canceled", 1)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	d.expects = kept
+	if !d.Suspected().Equal(before) {
+		for _, p := range before.Sorted() {
+			if !d.suspectedNow(p) {
+				d.canceled[p]++
+			}
+		}
+		d.publish()
+	}
+}
+
+// Suspected returns the current suspicion set S: every process with an
+// overdue expectation plus every detected process.
+func (d *Detector) Suspected() ids.ProcSet {
+	s := ids.NewProcSet()
+	for p := range d.detected {
+		s.Add(p)
+	}
+	for _, e := range d.expects {
+		if e.overdue {
+			s.Add(e.from)
+		}
+	}
+	return s
+}
+
+// IsSuspected reports whether i is currently suspected.
+func (d *Detector) IsSuspected(i ids.ProcessID) bool { return d.suspectedNow(i) }
+
+// IsDetected reports whether i has been permanently detected.
+func (d *Detector) IsDetected(i ids.ProcessID) bool { return d.detected[i] }
+
+// SuspicionsRaised returns how many times i has been newly suspected —
+// the experiment harness uses it to distinguish the paper's eventual
+// detection (raised and canceled repeatedly) from permanent detection.
+func (d *Detector) SuspicionsRaised(i ids.ProcessID) int { return d.raised[i] }
+
+// SuspicionsCanceled returns how many suspicions against i were
+// canceled again.
+func (d *Detector) SuspicionsCanceled(i ids.ProcessID) int { return d.canceled[i] }
+
+// PendingExpectations returns the number of outstanding (not yet
+// matched or canceled) expectations, overdue ones included.
+func (d *Detector) PendingExpectations() int { return len(d.expects) }
+
+func (d *Detector) suspectedNow(i ids.ProcessID) bool {
+	if d.detected[i] {
+		return true
+	}
+	for _, e := range d.expects {
+		if e.overdue && e.from == i {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Detector) timeoutFor(i ids.ProcessID) time.Duration {
+	if t, ok := d.timeout[i]; ok {
+		return t
+	}
+	return d.opts.BaseTimeout
+}
+
+func (d *Detector) publish() {
+	if d.onSuspect == nil {
+		return
+	}
+	s := d.Suspected()
+	d.log.Logf(logging.LevelTrace, "fd: SUSPECTED %s", s)
+	d.onSuspect(s)
+}
+
+// String summarizes the detector state for debugging.
+func (d *Detector) String() string {
+	return fmt.Sprintf("fd{suspected=%s pending=%d}", d.Suspected(), len(d.expects))
+}

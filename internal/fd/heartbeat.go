@@ -1,0 +1,104 @@
+package fd
+
+import (
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// HeartbeatScope tags the heartbeat module's expectations in the
+// detector.
+const HeartbeatScope = "heartbeat"
+
+// Heartbeater realizes the paper's §II assumption that "every process
+// is expected to send infinitely many messages": it periodically sends
+// HEARTBEAT messages to all other processes and keeps a standing
+// expectation for a heartbeat from every other process.
+//
+// A process that crashes stays suspected (its standing expectation
+// never matches again); a process that omits some heartbeats is
+// suspected and un-suspected repeatedly — the paper's eventual
+// detection of repeated omission failures. A process whose delays grow
+// without bound keeps outrunning the adaptive timeout — eventual
+// detection of increasing timing failures.
+type Heartbeater struct {
+	env      runtime.Env
+	detector *Detector
+	period   time.Duration
+	seq      uint64
+	stopped  bool
+}
+
+// NewHeartbeater creates a heartbeater sending every period. Start must
+// be called after the detector is bound.
+func NewHeartbeater(detector *Detector, period time.Duration) *Heartbeater {
+	if period <= 0 {
+		panic("fd: heartbeat period must be positive")
+	}
+	return &Heartbeater{detector: detector, period: period}
+}
+
+// Start begins sending heartbeats and issues the initial standing
+// expectations for every other process. The first expectations are
+// armed one period late: on real transports peers start at slightly
+// different times and connections have to be dialed first, and a
+// suspicion burst at startup would churn quorums for no reason.
+func (h *Heartbeater) Start(env runtime.Env) {
+	h.env = env
+	env.After(h.period, func() {
+		for _, p := range env.Config().All() {
+			if p != env.ID() {
+				h.expectFrom(p)
+			}
+		}
+	})
+	h.tick()
+}
+
+// Stop ends heartbeat sending (the expectations of other processes will
+// then see this process as silent — used to inject crash failures in
+// tests).
+func (h *Heartbeater) Stop() { h.stopped = true }
+
+func (h *Heartbeater) tick() {
+	if h.stopped {
+		return
+	}
+	h.seq++
+	hb := &wire.Heartbeat{From: h.env.ID(), Seq: h.seq}
+	runtime.Broadcast(h.env, hb, false)
+	h.env.After(h.period, h.tick)
+}
+
+// expectFrom issues a standing heartbeat expectation for p: whenever it
+// is matched, the next one is issued, so the expectation never runs
+// out. The predicate accepts any heartbeat from p — which heartbeat
+// arrives is irrelevant, only that p keeps sending.
+func (h *Heartbeater) expectFrom(p ids.ProcessID) {
+	if h.stopped {
+		return
+	}
+	matched := false
+	h.detector.Expect(HeartbeatScope, p, "heartbeat", func(m wire.Message) bool {
+		if _, ok := m.(*wire.Heartbeat); !ok {
+			return false
+		}
+		if matched {
+			return false // consume exactly one heartbeat per expectation
+		}
+		matched = true
+		// Re-arm on the process's event loop after this delivery
+		// completes.
+		h.env.After(0, func() { h.expectFrom(p) })
+		return true
+	})
+}
+
+// Deliver is a convenience Receive hook for nodes that route heartbeats
+// nowhere else; it reports whether m was a heartbeat.
+func IsHeartbeat(m wire.Message) bool {
+	_, ok := m.(*wire.Heartbeat)
+	return ok
+}

@@ -1,0 +1,308 @@
+// Package follower implements Follower Selection (Algorithm 2, §VIII):
+// the leader-centric variant of Quorum Selection for systems with
+// |Π| > 3f and FIFO links. It replaces the no-suspicion property with
+// no-leader-suspicion (only leader↔follower suspicions matter) and in
+// exchange needs only O(f) quorum changes per epoch (Theorem 9:
+// ≤ 3f+1; Corollary 10: ≤ 6f+2 once the failure detector is accurate).
+//
+// Structure, following Algorithm 2:
+//
+//   - Suspicions propagate exactly as in Algorithm 1 (the shared
+//     suspicion.Store).
+//   - updateQuorum builds the suspect graph; if no independent set of
+//     size q exists the epoch advances and the default leader p_1 with
+//     the default quorum is installed.
+//   - Otherwise the maximal line subgraph determines the leader
+//     (Definition 1). On a leader change, followers issue an
+//     expectation for a FOLLOWERS message; the leader selects q−1
+//     possible followers (Definition 2) and broadcasts its signed
+//     choice together with the justifying line subgraph.
+//   - Receivers validate well-formedness (Definition 3), detect
+//     equivocation, forward the first accepted FOLLOWERS, and issue
+//     ⟨QUORUM, leader, Fw ∪ {leader}⟩.
+package follower
+
+import (
+	"fmt"
+
+	"quorumselect/internal/fd"
+	"quorumselect/internal/graph"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/wire"
+)
+
+// Scope tags this module's expectations in the failure detector.
+const Scope = "follower-selection"
+
+// OnQuorum receives ⟨QUORUM, leader, Q⟩ events.
+type OnQuorum func(q ids.Quorum)
+
+// Selector is the Follower Selection state machine at one process.
+type Selector struct {
+	env      runtime.Env
+	store    *suspicion.Store
+	detector *fd.Detector
+	onQuorum OnQuorum
+	log      logging.Logger
+
+	leader ids.ProcessID
+	stable bool
+	qLast  ids.Quorum
+	line   *graph.LineSubgraph
+
+	issuedTotal   int
+	issuedInEpoch map[uint64]int
+	updating      bool
+}
+
+// NewSelector creates a Follower Selection module. The configuration
+// must satisfy the §VIII assumption |Π| > 3f; NewSelector panics
+// otherwise, since the O(f) bound (and Lemma 8) does not hold below it.
+func NewSelector(env runtime.Env, store *suspicion.Store, detector *fd.Detector, onQuorum OnQuorum) *Selector {
+	cfg := env.Config()
+	if !cfg.LeaderCentric() {
+		panic(fmt.Sprintf("follower: Follower Selection requires n > 3f, got %s", cfg))
+	}
+	return &Selector{
+		env:           env,
+		store:         store,
+		detector:      detector,
+		onQuorum:      onQuorum,
+		log:           env.Logger(),
+		leader:        ids.ProcessID(1),
+		stable:        true,
+		qLast:         ids.NewLeaderQuorum(1, cfg.DefaultQuorum().Sorted()),
+		line:          graph.NewLineSubgraph(cfg.N),
+		issuedInEpoch: make(map[uint64]int),
+	}
+}
+
+// Current returns the last issued (or initial) leader quorum.
+func (s *Selector) Current() ids.Quorum { return s.qLast }
+
+// Leader returns the currently detected leader.
+func (s *Selector) Leader() ids.ProcessID { return s.leader }
+
+// Stable reports whether the current leader's FOLLOWERS choice has been
+// accepted.
+func (s *Selector) Stable() bool { return s.stable }
+
+// Epoch returns the current epoch.
+func (s *Selector) Epoch() uint64 { return s.store.Epoch() }
+
+// QuorumsIssued returns the total number of ⟨QUORUM⟩ events issued.
+func (s *Selector) QuorumsIssued() int { return s.issuedTotal }
+
+// QuorumsIssuedInEpoch returns the count Theorem 9 bounds by 3f+1.
+func (s *Selector) QuorumsIssuedInEpoch(e uint64) int { return s.issuedInEpoch[e] }
+
+// OnSuspected is the ⟨SUSPECTED, S⟩ handler; as in Algorithm 1 it
+// records and broadcasts the suspicions.
+func (s *Selector) OnSuspected(suspected ids.ProcSet) {
+	s.store.UpdateSuspicions(suspected)
+}
+
+// UpdateQuorum is Algorithm 2's updateQuorum (lines 7–26); wire it to
+// the store's onChange hook.
+func (s *Selector) UpdateQuorum() {
+	if s.updating {
+		return
+	}
+	s.updating = true
+	defer func() { s.updating = false }()
+
+	cfg := s.env.Config()
+	q := cfg.Q()
+	startMax := s.store.MaxEpochSeen()
+	for {
+		g := s.store.SuspectGraph()
+		if !g.HasIndependentSet(q) {
+			if s.store.Epoch() > startMax {
+				s.log.Logf(logging.LevelError,
+					"follower: own suspicions %s preclude any quorum of size %d; keeping %s",
+					s.store.Suspecting(), q, s.qLast)
+				return
+			}
+			// Lines 10–15: next epoch, default leader and quorum.
+			s.store.IncrementEpoch()
+			s.detector.CancelScope(Scope)
+			s.leader = ids.ProcessID(1)
+			s.stable = true
+			s.issueQuorum(ids.NewLeaderQuorum(1, cfg.DefaultQuorum().Sorted()))
+			s.store.UpdateSuspicions(s.store.Suspecting())
+			continue
+		}
+
+		// Lines 17–26: leader from the maximal line subgraph.
+		l := graph.MaximalLineSubgraph(g)
+		newLeader := l.Leader()
+		if newLeader == s.leader {
+			return // line 18: no leader change, no new quorum
+		}
+		s.stable = false
+		s.leader = newLeader
+		s.line = l
+		s.detector.CancelScope(Scope)
+		if s.leader != s.env.ID() {
+			s.expectFollowersFrom(s.leader, s.store.Epoch())
+			return
+		}
+		// I am the new leader: select and broadcast followers.
+		fw, ok := SelectFollowers(l, g, q-1)
+		if !ok {
+			// Fewer than q−1 possible followers exist (transient,
+			// outside the regime the paper analyzes). Not broadcasting
+			// lets the followers' expectations expire; the resulting
+			// suspicions grow the graph and move the leader on.
+			s.log.Logf(logging.LevelInfo,
+				"follower: only %d possible followers for %s; withholding FOLLOWERS", len(fw), l)
+			return
+		}
+		msg := &wire.Followers{
+			Leader:    s.env.ID(),
+			Epoch:     s.store.Epoch(),
+			Followers: fw,
+			Line:      toWireEdges(l.Edges()),
+		}
+		runtime.Sign(s.env, msg)
+		s.env.Metrics().Inc("follower.followers.broadcast", 1)
+		runtime.Broadcast(s.env, msg, true)
+		return
+	}
+}
+
+// expectFollowersFrom issues the ⟨EXPECT, P_{Fw,epoch}, leader⟩ of
+// line 23: a signed FOLLOWERS message from the leader for this epoch.
+func (s *Selector) expectFollowersFrom(leader ids.ProcessID, epoch uint64) {
+	s.detector.Expect(Scope, leader, fmt.Sprintf("FOLLOWERS(epoch=%d)", epoch),
+		func(m wire.Message) bool {
+			f, ok := m.(*wire.Followers)
+			return ok && f.Leader == leader && f.Epoch == epoch
+		})
+}
+
+// HandleFollowers processes a (signature-verified) FOLLOWERS message
+// (Algorithm 2 lines 27–37).
+func (s *Selector) HandleFollowers(m *wire.Followers) {
+	if m.Leader != s.leader || m.Epoch != s.store.Epoch() {
+		return // line 28 guard: stale or foreign leader
+	}
+	if !s.wellFormed(m) {
+		s.env.Metrics().Inc("follower.detected.malformed", 1)
+		s.log.Logf(logging.LevelInfo, "follower: malformed FOLLOWERS from %s", m.Leader)
+		s.detector.Detected(m.Leader)
+		return
+	}
+	quorum := ids.NewLeaderQuorum(m.Leader, append([]ids.ProcessID{m.Leader}, m.Followers...))
+	if s.stable {
+		if !quorum.Equal(s.qLast) {
+			// Line 31–32: a second, different FOLLOWERS in the same
+			// epoch — equivocation.
+			s.env.Metrics().Inc("follower.detected.equivocation", 1)
+			s.log.Logf(logging.LevelInfo, "follower: equivocation by leader %s", m.Leader)
+			s.detector.Detected(m.Leader)
+		}
+		return
+	}
+	// Lines 33–37: first accepted FOLLOWERS for this leader.
+	s.stable = true
+	s.env.Metrics().Inc("follower.followers.forwarded", 1)
+	runtime.Broadcast(s.env, m, false) // forward
+	s.issueQuorum(quorum)
+}
+
+// wellFormed checks Definition 3 against the local suspect graph.
+func (s *Selector) wellFormed(m *wire.Followers) bool {
+	q := s.env.Config().Q()
+	// a) l ∉ Fw ∧ |Fw| = q−1, with no duplicates.
+	if len(m.Followers) != q-1 {
+		return false
+	}
+	seen := ids.NewProcSet()
+	for _, fw := range m.Followers {
+		if fw == m.Leader || !fw.Valid(s.env.Config().N) || seen.Contains(fw) {
+			return false
+		}
+		seen.Add(fw)
+	}
+	// b) L' is a line subgraph and L' ⊆ G_i.
+	l, err := graph.LineSubgraphFromEdges(s.env.Config().N, fromWireEdges(m.Line))
+	if err != nil {
+		return false
+	}
+	if !l.SubgraphOf(s.store.SuspectGraph()) {
+		return false
+	}
+	// c) l_{L'} = j.
+	if l.Leader() != m.Leader {
+		return false
+	}
+	// d) all fw ∈ Fw are possible followers for L'.
+	for _, fw := range m.Followers {
+		if !l.IsPossibleFollower(fw) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Selector) issueQuorum(q ids.Quorum) {
+	if q.Equal(s.qLast) {
+		s.qLast = q
+		return
+	}
+	s.qLast = q
+	s.issuedTotal++
+	s.issuedInEpoch[s.store.Epoch()]++
+	s.env.Metrics().Inc("follower.quorum.issued", 1)
+	s.log.Logf(logging.LevelDebug, "follower: QUORUM %s (epoch %d)", q, s.store.Epoch())
+	if s.onQuorum != nil {
+		s.onQuorum(q)
+	}
+}
+
+// SelectFollowers returns the leader's deterministic choice of count
+// possible followers from l (Definition 2), or ok=false if fewer exist.
+// Among possible followers (the leader excluded), processes without a
+// suspicion edge to the leader in g are preferred, then lower
+// identifiers — minimizing immediate no-leader-suspicion violations.
+func SelectFollowers(l *graph.LineSubgraph, g *graph.Graph, count int) ([]ids.ProcessID, bool) {
+	leader := l.Leader()
+	var clean, tainted []ids.ProcessID
+	for _, p := range l.PossibleFollowers() {
+		if p == leader {
+			continue
+		}
+		if leader != ids.None && g.HasEdge(leader, p) {
+			tainted = append(tainted, p)
+		} else {
+			clean = append(clean, p)
+		}
+	}
+	candidates := append(clean, tainted...)
+	if len(candidates) < count {
+		return candidates, false
+	}
+	out := make([]ids.ProcessID, count)
+	copy(out, candidates[:count])
+	return out, true
+}
+
+func toWireEdges(es []graph.Edge) []wire.Edge {
+	out := make([]wire.Edge, len(es))
+	for i, e := range es {
+		out[i] = wire.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+func fromWireEdges(es []wire.Edge) []graph.Edge {
+	out := make([]graph.Edge, len(es))
+	for i, e := range es {
+		out[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return out
+}

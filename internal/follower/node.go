@@ -1,0 +1,111 @@
+package follower
+
+import (
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/wire"
+)
+
+// NodeOptions configures a composed Follower Selection process.
+type NodeOptions struct {
+	// FD configures the failure detector.
+	FD fd.Options
+	// Store configures the suspicion store.
+	Store suspicion.Options
+	// HeartbeatPeriod enables §II heartbeat traffic when positive.
+	HeartbeatPeriod time.Duration
+	// App is the optional application module (the same interface as
+	// core.Application, so applications run on either selector).
+	App core.Application
+}
+
+// DefaultNodeOptions mirrors core.DefaultNodeOptions.
+func DefaultNodeOptions() NodeOptions {
+	return NodeOptions{
+		FD:              fd.DefaultOptions(),
+		Store:           suspicion.DefaultOptions(),
+		HeartbeatPeriod: 25 * time.Millisecond,
+	}
+}
+
+// Node is one complete Follower Selection process: network → failure
+// detector → {suspicion store → follower selector, application}.
+type Node struct {
+	opts NodeOptions
+
+	env      runtime.Env
+	Detector *fd.Detector
+	Store    *suspicion.Store
+	Selector *Selector
+	HB       *fd.Heartbeater
+
+	quorumLog []ids.Quorum
+}
+
+var _ runtime.Node = (*Node)(nil)
+
+// NewNode creates an unstarted node. As in core.NewNode, the
+// failure-detector base timeout is floored at 3× the heartbeat period.
+func NewNode(opts NodeOptions) *Node {
+	if opts.HeartbeatPeriod > 0 && opts.FD.BaseTimeout < 3*opts.HeartbeatPeriod {
+		opts.FD.BaseTimeout = 3 * opts.HeartbeatPeriod
+	}
+	return &Node{opts: opts}
+}
+
+// Init implements runtime.Node.
+func (n *Node) Init(env runtime.Env) {
+	n.env = env
+	n.Detector = fd.New(n.opts.FD)
+	n.Store = suspicion.New(env.Config(), n.opts.Store)
+	n.Selector = NewSelector(env, n.Store, n.Detector, func(q ids.Quorum) {
+		n.quorumLog = append(n.quorumLog, q)
+		if n.opts.App != nil {
+			n.opts.App.OnQuorum(q)
+		}
+	})
+	n.Store.Bind(env, n.Selector.UpdateQuorum)
+	n.Detector.Bind(env, n.deliver, n.Selector.OnSuspected)
+	if n.opts.App != nil {
+		n.opts.App.Attach(env, n.Detector)
+	}
+	if n.opts.HeartbeatPeriod > 0 {
+		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
+		n.HB.Start(env)
+	}
+}
+
+// Receive implements runtime.Node.
+func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
+	n.Detector.Receive(from, m)
+}
+
+func (n *Node) deliver(from ids.ProcessID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.Update:
+		n.Store.HandleUpdate(msg)
+	case *wire.Followers:
+		n.Selector.HandleFollowers(msg)
+	case *wire.Heartbeat:
+		// Consumed by the failure detector's expectations.
+	default:
+		if n.opts.App != nil {
+			n.opts.App.Deliver(from, m)
+		}
+	}
+}
+
+// Quorums returns every ⟨QUORUM, leader, Q⟩ issued so far, in order.
+func (n *Node) Quorums() []ids.Quorum {
+	out := make([]ids.Quorum, len(n.quorumLog))
+	copy(out, n.quorumLog)
+	return out
+}
+
+// CurrentQuorum returns the selector's current leader quorum.
+func (n *Node) CurrentQuorum() ids.Quorum { return n.Selector.Current() }

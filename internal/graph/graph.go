@@ -1,0 +1,311 @@
+// Package graph implements the suspect-graph machinery of the paper:
+// simple undirected graphs over Π, lexicographically-first independent
+// sets of a given size (Algorithm 1, §VI-B), vertex-cover duality
+// (Theorem 4, Lemma 8), line subgraphs, maximal line subgraphs and
+// possible followers (Definitions 1–2, §VIII).
+//
+// All subset-search subroutines are exact. The independent-set decision
+// problem is NP-hard, but as the paper notes ("for small graphs, e.g.
+// including only tenth of nodes, it is easy to compute"), exhaustive
+// branch-and-bound is entirely adequate for consortium-scale n, and it
+// is the only way to guarantee the deterministic lexicographic choice
+// the algorithms rely on for agreement.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quorumselect/internal/ids"
+)
+
+// MaxNodes bounds graph sizes; adjacency rows are 64-bit sets.
+const MaxNodes = 64
+
+// Edge is an undirected edge between two processes. By convention the
+// stored form has U < V; Normalize enforces it.
+type Edge struct {
+	U, V ids.ProcessID
+}
+
+// Normalize returns the edge with endpoints ordered U < V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// String renders the edge in paper notation, e.g. "(p3,p4)".
+func (e Edge) String() string { return fmt.Sprintf("(%s,%s)", e.U, e.V) }
+
+// Graph is a simple undirected graph on the processes {p_1, ..., p_n}.
+// The zero value is unusable; construct with New.
+type Graph struct {
+	n   int
+	adj []uint64 // adj[i] is the neighbor bitset of p_{i+1}
+}
+
+// New returns an empty graph on n nodes. It panics if n is outside
+// (0, MaxNodes]; the paper's systems are consortium-scale.
+func New(n int) *Graph {
+	if n <= 0 || n > MaxNodes {
+		panic(fmt.Sprintf("graph: node count %d outside (0,%d]", n, MaxNodes))
+	}
+	return &Graph{n: n, adj: make([]uint64, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+func (g *Graph) check(p ids.ProcessID) int {
+	if !p.Valid(g.n) {
+		panic(fmt.Sprintf("graph: process %s outside Π with n=%d", p, g.n))
+	}
+	return int(p) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored
+// (a process suspecting itself carries no information for selection).
+func (g *Graph) AddEdge(u, v ids.ProcessID) {
+	if u == v {
+		return
+	}
+	ui, vi := g.check(u), g.check(v)
+	g.adj[ui] |= 1 << uint(vi)
+	g.adj[vi] |= 1 << uint(ui)
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v ids.ProcessID) {
+	if u == v {
+		return
+	}
+	ui, vi := g.check(u), g.check(v)
+	g.adj[ui] &^= 1 << uint(vi)
+	g.adj[vi] &^= 1 << uint(ui)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v ids.ProcessID) bool {
+	if u == v {
+		return false
+	}
+	ui, vi := g.check(u), g.check(v)
+	return g.adj[ui]&(1<<uint(vi)) != 0
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u ids.ProcessID) int {
+	return popcount(g.adj[g.check(u)])
+}
+
+// Neighbors returns the sorted neighbors of u.
+func (g *Graph) Neighbors(u ids.ProcessID) []ids.ProcessID {
+	row := g.adj[g.check(u)]
+	var out []ids.ProcessID
+	for i := 0; i < g.n; i++ {
+		if row&(1<<uint(i)) != 0 {
+			out = append(out, ids.ProcessID(i+1))
+		}
+	}
+	return out
+}
+
+// Edges returns all edges sorted by (U, V) with U < V.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if g.adj[i]&(1<<uint(j)) != 0 {
+				out = append(out, Edge{U: ids.ProcessID(i + 1), V: ids.ProcessID(j + 1)})
+			}
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, row := range g.adj {
+		total += popcount(row)
+	}
+	return total / 2
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := New(g.n)
+	copy(cp.adj, g.adj)
+	return cp
+}
+
+// Equal reports whether two graphs have identical node and edge sets.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.n != o.n {
+		return false
+	}
+	for i := range g.adj {
+		if g.adj[i] != o.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph as its sorted edge list.
+func (g *Graph) String() string {
+	es := g.Edges()
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("G(n=%d){%s}", g.n, strings.Join(parts, " "))
+}
+
+// IsIndependentSet reports whether no two members of set are adjacent.
+func (g *Graph) IsIndependentSet(set []ids.ProcessID) bool {
+	var mask uint64
+	for _, p := range set {
+		mask |= 1 << uint(g.check(p))
+	}
+	for _, p := range set {
+		if g.adj[g.check(p)]&mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVertexCover reports whether every edge has at least one endpoint in
+// set (the dual view used in Theorem 4 and Lemma 8).
+func (g *Graph) IsVertexCover(set []ids.ProcessID) bool {
+	var mask uint64
+	for _, p := range set {
+		mask |= 1 << uint(g.check(p))
+	}
+	for i := 0; i < g.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		// Node i is outside the cover: all its edges must be covered
+		// by the other endpoint.
+		if g.adj[i]&^mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstIndependentSet returns the lexicographically-first independent
+// set of size q (as a sorted member list), or ok=false if none exists.
+// This is the deterministic choice rule of Algorithm 1 line 31 that
+// makes correct processes converge on the same quorum.
+func (g *Graph) FirstIndependentSet(q int) (set []ids.ProcessID, ok bool) {
+	if q < 0 || q > g.n {
+		return nil, false
+	}
+	if q == 0 {
+		return []ids.ProcessID{}, true
+	}
+	chosen := make([]int, 0, q)
+	var conflict uint64 // nodes adjacent to a chosen node
+	var walk func(next int) bool
+	walk = func(next int) bool {
+		if len(chosen) == q {
+			return true
+		}
+		// Prune: not enough candidates left.
+		for v := next; v <= g.n-(q-len(chosen)); v++ {
+			bit := uint64(1) << uint(v)
+			if conflict&bit != 0 {
+				continue
+			}
+			savedConflict := conflict
+			chosen = append(chosen, v)
+			conflict |= g.adj[v] | bit
+			if walk(v + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			conflict = savedConflict
+		}
+		return false
+	}
+	if !walk(0) {
+		return nil, false
+	}
+	out := make([]ids.ProcessID, q)
+	for i, v := range chosen {
+		out[i] = ids.ProcessID(v + 1)
+	}
+	return out, true
+}
+
+// HasIndependentSet reports whether an independent set of size q exists
+// (Algorithm 1 line 27).
+func (g *Graph) HasIndependentSet(q int) bool {
+	_, ok := g.FirstIndependentSet(q)
+	return ok
+}
+
+// AllIndependentSets returns every independent set of exactly size q in
+// lexicographic order. Exponential; intended for tests and the
+// adversary's bookkeeping on small instances.
+func (g *Graph) AllIndependentSets(q int) [][]ids.ProcessID {
+	var out [][]ids.ProcessID
+	chosen := make([]int, 0, q)
+	var conflict uint64
+	var walk func(next int)
+	walk = func(next int) {
+		if len(chosen) == q {
+			set := make([]ids.ProcessID, q)
+			for i, v := range chosen {
+				set[i] = ids.ProcessID(v + 1)
+			}
+			out = append(out, set)
+			return
+		}
+		for v := next; v <= g.n-(q-len(chosen)); v++ {
+			bit := uint64(1) << uint(v)
+			if conflict&bit != 0 {
+				continue
+			}
+			savedConflict := conflict
+			chosen = append(chosen, v)
+			conflict |= g.adj[v] | bit
+			walk(v + 1)
+			chosen = chosen[:len(chosen)-1]
+			conflict = savedConflict
+		}
+	}
+	if q >= 0 && q <= g.n {
+		walk(0)
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// SortEdges orders edges by (U, V) after normalization, the canonical
+// deterministic order used when serializing line subgraphs.
+func SortEdges(es []Edge) {
+	for i := range es {
+		es[i] = es[i].Normalize()
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}

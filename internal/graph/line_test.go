@@ -1,0 +1,410 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"quorumselect/internal/ids"
+)
+
+func TestLineSubgraphInvariants(t *testing.T) {
+	l := NewLineSubgraph(5)
+	if l.Leader() != 1 {
+		t.Errorf("empty line subgraph leader = %v, want p1", l.Leader())
+	}
+	if err := l.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if l.Leader() != 4 {
+		t.Errorf("leader = %v, want p4", l.Leader())
+	}
+	// Degree bound: p2 already has degree 2.
+	if err := l.AddEdge(2, 4); !errors.Is(err, ErrNotLine) {
+		t.Errorf("degree-3 edge accepted: %v", err)
+	}
+	// Cycle: close the triangle 1-2-3.
+	if err := l.AddEdge(1, 3); !errors.Is(err, ErrNotLine) {
+		t.Errorf("cycle edge accepted: %v", err)
+	}
+	// Self-loop.
+	if err := l.AddEdge(4, 4); !errors.Is(err, ErrNotLine) {
+		t.Errorf("self-loop accepted: %v", err)
+	}
+	// Out of range.
+	if err := l.AddEdge(4, 6); !errors.Is(err, ErrNotLine) {
+		t.Errorf("out-of-range edge accepted: %v", err)
+	}
+	if l.NodeCount() != 3 {
+		t.Errorf("NodeCount = %d, want 3", l.NodeCount())
+	}
+	if !l.ContainsNode(2) || l.ContainsNode(4) {
+		t.Error("ContainsNode wrong")
+	}
+}
+
+func TestLineSubgraphLongerCycle(t *testing.T) {
+	l := NewLineSubgraph(6)
+	for _, e := range [][2]ids.ProcessID{{1, 2}, {2, 3}, {3, 4}, {4, 5}} {
+		if err := l.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddEdge(5, 1); !errors.Is(err, ErrNotLine) {
+		t.Error("5-cycle accepted")
+	}
+	// Extending the path at its endpoint p5 is legal (degree 1 → 2)...
+	if err := l.AddEdge(6, 5); err != nil {
+		t.Errorf("path extension rejected: %v", err)
+	}
+	// ...but now p5 has degree 2 and a further edge must be rejected.
+	if err := l.AddEdge(5, 3); !errors.Is(err, ErrNotLine) {
+		t.Error("degree-3 on p5 accepted")
+	}
+}
+
+func TestPossibleFollowers(t *testing.T) {
+	// Path p1-p2-p3: p2 is connected to two degree-1 nodes → excluded.
+	l := NewLineSubgraph(5)
+	for _, e := range [][2]ids.ProcessID{{1, 2}, {2, 3}} {
+		if err := l.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf := l.PossibleFollowers()
+	want := []ids.ProcessID{1, 3, 4, 5}
+	if len(pf) != len(want) {
+		t.Fatalf("PossibleFollowers = %v, want %v", pf, want)
+	}
+	for i := range want {
+		if pf[i] != want[i] {
+			t.Fatalf("PossibleFollowers = %v, want %v", pf, want)
+		}
+	}
+	if l.IsPossibleFollower(2) {
+		t.Error("p2 should not be a possible follower")
+	}
+	if !l.IsPossibleFollower(1) || !l.IsPossibleFollower(4) {
+		t.Error("endpoints and isolated nodes are possible followers")
+	}
+
+	// Path of length 3 (p1-p2-p3-p4): p2's neighbors are p1 (deg 1) and
+	// p3 (deg 2) → only one degree-1 neighbor → p2 is possible.
+	l2 := NewLineSubgraph(5)
+	for _, e := range [][2]ids.ProcessID{{1, 2}, {2, 3}, {3, 4}} {
+		if err := l2.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l2.IsPossibleFollower(2) || !l2.IsPossibleFollower(3) {
+		t.Error("interior nodes of a P4 are possible followers")
+	}
+}
+
+func TestSubgraphOf(t *testing.T) {
+	g := New(4)
+	mustEdges(t, g, [2]int{1, 2}, [2]int{3, 4})
+	l, err := LineSubgraphFromEdges(4, []Edge{{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.SubgraphOf(g) {
+		t.Error("valid subgraph rejected")
+	}
+	l2, err := LineSubgraphFromEdges(4, []Edge{{U: 1, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.SubgraphOf(g) {
+		t.Error("edge (1,3) not in G but SubgraphOf accepted")
+	}
+}
+
+func TestLineSubgraphFromEdgesRejectsInvalid(t *testing.T) {
+	if _, err := LineSubgraphFromEdges(4, []Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3}}); err == nil {
+		t.Error("triangle accepted as line subgraph")
+	}
+	if _, err := LineSubgraphFromEdges(4, []Edge{{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}}); err == nil {
+		t.Error("star accepted as line subgraph")
+	}
+}
+
+// bruteMaxLeader enumerates all subsets of g's edges (feasible for
+// small graphs) and returns the maximum designated leader over all
+// valid line subgraphs.
+func bruteMaxLeader(g *Graph) ids.ProcessID {
+	edges := g.Edges()
+	best := ids.ProcessID(1) // empty subgraph designates p1
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		l := NewLineSubgraph(g.N())
+		valid := true
+		for i, e := range edges {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if err := l.AddEdge(e.U, e.V); err != nil {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		leader := l.Leader()
+		if leader == ids.None {
+			continue // no node of degree 0: designates no leader
+		}
+		if leader > best {
+			best = leader
+		}
+	}
+	return best
+}
+
+func TestMaximalLineSubgraphMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6) // 3..8
+		g := randomGraph(rng, n, rng.Intn(12))
+		l := MaximalLineSubgraph(g)
+		if !l.SubgraphOf(g) {
+			t.Fatalf("%s: maximal line subgraph %s not a subgraph", g, l)
+		}
+		got := l.Leader()
+		if got == ids.None {
+			t.Fatalf("%s: maximal line subgraph designates no leader", g)
+		}
+		if want := bruteMaxLeader(g); got != want {
+			t.Fatalf("%s: leader = %v, brute force = %v (L=%s)", g, got, want, l)
+		}
+	}
+}
+
+func TestMaximalLineSubgraphEmptyGraph(t *testing.T) {
+	g := New(5)
+	l := MaximalLineSubgraph(g)
+	if l.Leader() != 1 {
+		t.Errorf("empty graph leader = %v, want p1", l.Leader())
+	}
+	if len(l.Edges()) != 0 {
+		t.Error("empty graph produced edges")
+	}
+}
+
+// TestExampleOne mirrors the paper's Example 1: a 7-node graph whose
+// maximal line subgraph makes p2 not a possible follower, and where a
+// new edge (p2,p5) does not change the maximal line subgraph.
+func TestExampleOne(t *testing.T) {
+	g := New(7)
+	mustEdges(t, g, [2]int{1, 2}, [2]int{2, 3})
+	l := MaximalLineSubgraph(g)
+	if l.Leader() != 4 {
+		t.Fatalf("leader = %v, want p4", l.Leader())
+	}
+	if l.IsPossibleFollower(2) {
+		t.Error("p2 should not be a possible follower")
+	}
+	g2 := g.Clone()
+	g2.AddEdge(2, 5)
+	l2 := MaximalLineSubgraph(g2)
+	if l2.Leader() != l.Leader() {
+		t.Errorf("adding (p2,p5) changed the leader: %v -> %v", l.Leader(), l2.Leader())
+	}
+	es1, es2 := l.Edges(), l2.Edges()
+	if len(es1) != len(es2) {
+		t.Fatalf("adding (p2,p5) changed the maximal line subgraph: %v -> %v", es1, es2)
+	}
+	for i := range es1 {
+		if es1[i] != es2[i] {
+			t.Fatalf("adding (p2,p5) changed the maximal line subgraph: %v -> %v", es1, es2)
+		}
+	}
+}
+
+// TestExampleTwo mirrors the paper's Example 2: adding an edge (p3,p5)
+// changes the leader and the maximal line subgraph. Note that adding
+// edges can only increase the maximal leader (the monotonicity that
+// Lemma 5 builds on).
+func TestExampleTwo(t *testing.T) {
+	g := New(7)
+	mustEdges(t, g, [2]int{1, 2}, [2]int{4, 5})
+	before := MaximalLineSubgraph(g)
+	// {1,2} can be covered by (1,2); p3 has no edge, so the leader is p3.
+	if before.Leader() != 3 {
+		t.Fatalf("leader before = %v, want p3", before.Leader())
+	}
+	g.AddEdge(3, 5)
+	after := MaximalLineSubgraph(g)
+	// Now {1,...,5} is coverable: (1,2) plus the path 3-5-4 (p5 takes
+	// degree 2). p6 is isolated, so the leader jumps to p6.
+	if after.Leader() != 6 {
+		t.Errorf("leader after = %v, want p6", after.Leader())
+	}
+	if want := bruteMaxLeader(g); after.Leader() != want {
+		t.Errorf("leader after = %v, brute force = %v", after.Leader(), want)
+	}
+	if after.Leader() <= before.Leader() {
+		t.Error("adding (p3,p5) should increase the leader")
+	}
+}
+
+// TestLeaderMonotoneUnderEdgeAddition checks the monotonicity Lemma 5
+// relies on: adding suspicion edges never decreases the maximal leader.
+func TestLeaderMonotoneUnderEdgeAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(5)
+		g := New(n)
+		prev := MaximalLineSubgraph(g).Leader()
+		for step := 0; step < 8; step++ {
+			g.AddEdge(ids.ProcessID(rng.Intn(n)+1), ids.ProcessID(rng.Intn(n)+1))
+			cur := MaximalLineSubgraph(g).Leader()
+			if cur < prev {
+				t.Fatalf("leader decreased %v -> %v on %s", prev, cur, g)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestLemma8 verifies Lemma 8 on exhaustive small instances: if G
+// contains a line subgraph containing 3f nodes then G has at most one
+// independent set of size q (containing leader and possible followers),
+// and a line subgraph with 3f+1 nodes forbids any independent set of
+// size q. Here n = 3f+1 and q = n − f.
+func TestLemma8(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		f := 1 + rng.Intn(2) // f ∈ {1,2} → n ∈ {4,7}
+		n := 3*f + 1
+		q := n - f
+		g := randomGraph(rng, n, rng.Intn(3*f+2))
+		l := MaximalLineSubgraph(g)
+		switch {
+		case l.NodeCount() >= 3*f+1:
+			if g.HasIndependentSet(q) {
+				t.Fatalf("f=%d %s: line subgraph with %d nodes but IS of size %d exists (L=%s)",
+					f, g, l.NodeCount(), q, l)
+			}
+		case l.NodeCount() == 3*f:
+			sets := g.AllIndependentSets(q)
+			if len(sets) > 1 {
+				t.Fatalf("f=%d %s: line subgraph with 3f nodes but %d independent sets (L=%s)",
+					f, g, len(sets), l)
+			}
+			if len(sets) == 1 {
+				set := ids.FromSlice(sets[0])
+				if !set.Contains(l.Leader()) {
+					t.Fatalf("f=%d %s: unique IS %v missing leader %v", f, g, sets[0], l.Leader())
+				}
+				for _, p := range sets[0] {
+					if p != l.Leader() && !l.IsPossibleFollower(p) {
+						t.Fatalf("f=%d %s: IS member %v not a possible follower of %s", f, g, p, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLineSubgraphClone(t *testing.T) {
+	l := NewLineSubgraph(5)
+	if err := l.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Clone()
+	if err := c.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if l.ContainsNode(3) {
+		t.Error("clone mutation leaked into original")
+	}
+	if l.Leader() != 3 {
+		t.Errorf("original leader = %v, want p3", l.Leader())
+	}
+	if c.Leader() != 5 {
+		t.Errorf("clone leader = %v, want p5", c.Leader())
+	}
+}
+
+func TestLeaderNoneWhenAllCovered(t *testing.T) {
+	l := NewLineSubgraph(4)
+	for _, e := range [][2]ids.ProcessID{{1, 2}, {3, 4}} {
+		if err := l.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Leader(); got != ids.None {
+		t.Errorf("fully covered subgraph leader = %v, want None", got)
+	}
+}
+
+// bruteIsPossibleFollower re-implements Definition 2 from scratch: a
+// node is a possible follower unless it is connected (in L) to two
+// nodes of degree 1.
+func bruteIsPossibleFollower(l *LineSubgraph, p ids.ProcessID) bool {
+	degOneNeighbors := 0
+	for _, e := range l.Edges() {
+		var other ids.ProcessID
+		switch p {
+		case e.U:
+			other = e.V
+		case e.V:
+			other = e.U
+		default:
+			continue
+		}
+		if l.Degree(other) == 1 {
+			degOneNeighbors++
+		}
+	}
+	return degOneNeighbors < 2
+}
+
+func TestPossibleFollowersMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(8)
+		l := NewLineSubgraph(n)
+		for i := 0; i < 2*n; i++ {
+			u := ids.ProcessID(rng.Intn(n) + 1)
+			v := ids.ProcessID(rng.Intn(n) + 1)
+			if u != v {
+				_ = l.AddEdge(u, v) // rejections are fine
+			}
+		}
+		got := ids.FromSlice(l.PossibleFollowers())
+		for i := 1; i <= n; i++ {
+			p := ids.ProcessID(i)
+			want := bruteIsPossibleFollower(l, p)
+			if got.Contains(p) != want {
+				t.Fatalf("%s: PossibleFollowers disagrees with Definition 2 for %s (want %v)", l, p, want)
+			}
+			if l.IsPossibleFollower(p) != want {
+				t.Fatalf("%s: IsPossibleFollower disagrees with Definition 2 for %s", l, p)
+			}
+		}
+	}
+}
+
+func TestMaximalLineSubgraphDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(6)
+		g := randomGraph(rng, n, rng.Intn(2*n))
+		a := MaximalLineSubgraph(g)
+		b := MaximalLineSubgraph(g.Clone())
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("nondeterministic maximal line subgraph on %s", g)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("nondeterministic maximal line subgraph on %s", g)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package logging
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterLoggerLevels(t *testing.T) {
+	var buf strings.Builder
+	l := NewWriterLogger(&buf, LevelInfo)
+	l.Logf(LevelError, "boom %d", 1)
+	l.Logf(LevelInfo, "hello")
+	l.Logf(LevelDebug, "hidden")
+	out := buf.String()
+	if !strings.Contains(out, "boom 1") || !strings.Contains(out, "hello") {
+		t.Errorf("missing expected lines: %q", out)
+	}
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked through info level: %q", out)
+	}
+	if !strings.Contains(out, "ERROR") || !strings.Contains(out, "INFO") {
+		t.Errorf("level names missing: %q", out)
+	}
+}
+
+func TestTagged(t *testing.T) {
+	c := NewCapture(LevelDebug)
+	l := Tagged(c, "p3")
+	l.Logf(LevelInfo, "msg %s", "x")
+	lines := c.Snapshot()
+	if len(lines) != 1 || !strings.Contains(lines[0], "[p3] msg x") {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestCaptureFiltersAndCopies(t *testing.T) {
+	c := NewCapture(LevelInfo)
+	c.Logf(LevelTrace, "nope")
+	c.Logf(LevelError, "yes")
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0] != "yes" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap[0] = "mutated"
+	if c.Snapshot()[0] != "yes" {
+		t.Error("Snapshot shares storage")
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	// Must simply not panic.
+	Nop.Logf(LevelError, "discarded %d", 42)
+}
+
+func TestLevelString(t *testing.T) {
+	tests := map[Level]string{
+		LevelError: "ERROR",
+		LevelInfo:  "INFO",
+		LevelDebug: "DEBUG",
+		LevelTrace: "TRACE",
+		Level(99):  "LEVEL(99)",
+	}
+	for lvl, want := range tests {
+		if got := lvl.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", lvl, got, want)
+		}
+	}
+}

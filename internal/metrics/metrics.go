@@ -1,0 +1,162 @@
+// Package metrics provides the lightweight counters and histograms the
+// experiment harness uses to account messages, quorum changes, epochs
+// and detection latencies. Registries are plain in-memory structures;
+// the simulator is single-threaded per run, but Registry is still safe
+// for concurrent use so the TCP deployment can share it.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named counters and histograms.
+type Registry struct {
+	mu    sync.Mutex
+	count map[string]int64
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		count: make(map[string]int64),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count[name] += delta
+}
+
+// Counter returns the current value of the named counter (0 if unset).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count[name]
+}
+
+// Observe records a sample in the named histogram.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.add(v)
+}
+
+// Hist returns a snapshot of the named histogram. The second return is
+// false if no samples were recorded.
+func (r *Registry) Hist(name string) (Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		return Histogram{}, false
+	}
+	return h.snapshot(), true
+}
+
+// Counters returns a sorted copy of all counters, for printing.
+func (r *Registry) Counters() []NamedCount {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NamedCount, 0, len(r.count))
+	for k, v := range r.count {
+		out = append(out, NamedCount{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset clears all counters and histograms.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count = make(map[string]int64)
+	r.hists = make(map[string]*Histogram)
+}
+
+// String renders the registry as one line per counter, sorted by name.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, c := range r.Counters() {
+		fmt.Fprintf(&b, "%s=%d\n", c.Name, c.Value)
+	}
+	return b.String()
+}
+
+// NamedCount pairs a counter name with its value.
+type NamedCount struct {
+	Name  string
+	Value int64
+}
+
+// Histogram accumulates scalar samples and exposes summary statistics.
+type Histogram struct {
+	Count   int64
+	Sum     float64
+	MinSeen float64
+	MaxSeen float64
+	samples []float64
+}
+
+func (h *Histogram) add(v float64) {
+	if h.Count == 0 || v < h.MinSeen {
+		h.MinSeen = v
+	}
+	if h.Count == 0 || v > h.MaxSeen {
+		h.MaxSeen = v
+	}
+	h.Count++
+	h.Sum += v
+	h.samples = append(h.samples, v)
+}
+
+func (h *Histogram) snapshot() Histogram {
+	cp := *h
+	cp.samples = make([]float64, len(h.samples))
+	copy(cp.samples, h.samples)
+	return cp
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on the sorted samples; 0 with no samples.
+func (h Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

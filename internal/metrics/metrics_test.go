@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a", 1)
+	r.Inc("a", 2)
+	r.Inc("b", 5)
+	if got := r.Counter("a"); got != 3 {
+		t.Errorf("a = %d", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing = %d", got)
+	}
+	counters := r.Counters()
+	if len(counters) != 2 || counters[0].Name != "a" || counters[1].Name != "b" {
+		t.Errorf("Counters = %v", counters)
+	}
+	if s := r.String(); !strings.Contains(s, "a=3") || !strings.Contains(s, "b=5") {
+		t.Errorf("String = %q", s)
+	}
+	r.Reset()
+	if r.Counter("a") != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		r.Observe("lat", v)
+	}
+	h, ok := r.Hist("lat")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 5 || h.MinSeen != 1 || h.MaxSeen != 5 {
+		t.Errorf("stats: %+v", h)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if _, ok := r.Hist("missing"); ok {
+		t.Error("phantom histogram")
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("x", 1)
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("x"); got != 8000 {
+		t.Errorf("x = %d, want 8000", got)
+	}
+	h, _ := r.Hist("h")
+	if h.Count != 8000 {
+		t.Errorf("h.Count = %d", h.Count)
+	}
+}

@@ -1,0 +1,66 @@
+package pbftlite
+
+import (
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// NewQSNode composes an ActiveQuorum replica with the quorum-selection
+// stack: the selection module picks which n−f replicas exchange
+// normal-case traffic.
+func NewQSNode(opts Options, nodeOpts core.NodeOptions) (*core.Node, *Replica) {
+	opts.Regime = ActiveQuorum
+	r := NewReplica(opts)
+	nodeOpts.App = r
+	return core.NewNode(nodeOpts), r
+}
+
+// StandaloneNode runs a BroadcastAll replica with just a failure
+// detector (suspicions are recorded but masked, as in classic PBFT).
+type StandaloneNode struct {
+	fdOpts   fd.Options
+	hbPeriod time.Duration
+
+	env      runtime.Env
+	Detector *fd.Detector
+	Replica  *Replica
+	HB       *fd.Heartbeater
+}
+
+var _ runtime.Node = (*StandaloneNode)(nil)
+
+// NewStandaloneNode creates an unstarted broadcast-all node.
+func NewStandaloneNode(opts Options, fdOpts fd.Options, hbPeriod time.Duration) *StandaloneNode {
+	opts.Regime = BroadcastAll
+	return &StandaloneNode{fdOpts: fdOpts, hbPeriod: hbPeriod, Replica: NewReplica(opts)}
+}
+
+// Init implements runtime.Node.
+func (n *StandaloneNode) Init(env runtime.Env) {
+	n.env = env
+	n.Detector = fd.New(n.fdOpts)
+	n.Detector.Bind(env,
+		func(from ids.ProcessID, m wire.Message) {
+			if fd.IsHeartbeat(m) {
+				return
+			}
+			n.Replica.Deliver(from, m)
+		},
+		nil, // suspicions are masked, not acted on (classic PBFT)
+	)
+	n.Replica.Attach(env, n.Detector)
+	if n.hbPeriod > 0 {
+		n.HB = fd.NewHeartbeater(n.Detector, n.hbPeriod)
+		n.HB.Start(env)
+	}
+}
+
+// Receive implements runtime.Node.
+func (n *StandaloneNode) Receive(from ids.ProcessID, m wire.Message) {
+	n.Detector.Receive(from, m)
+}

@@ -1,0 +1,92 @@
+// Package runtime defines the execution environment protocol code runs
+// against. The same protocol implementations (failure detector,
+// suspicion store, selectors, XPaxos) run unchanged on the
+// deterministic discrete-event simulator (internal/sim) and on the real
+// TCP transport (internal/transport); both provide an Env.
+//
+// Per the paper's system model, events between the modules of one
+// process are processed in the order they were produced: every process
+// is driven by a single logical thread, so protocol code never needs
+// locks.
+package runtime
+
+import (
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/wire"
+)
+
+// Timer is a cancelable pending callback.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the callback was
+	// prevented from running (false if it already ran or was stopped).
+	Stop() bool
+}
+
+// Env is the execution environment of one process: identity, transport,
+// virtual or real time, deterministic randomness, signing and logging.
+type Env interface {
+	// ID returns the identity of this process in Π.
+	ID() ids.ProcessID
+	// Config returns the system parameters (n, f, q).
+	Config() ids.Config
+	// Send transmits m to process to. Sending to the local process is
+	// allowed and delivers through the normal receive path, preserving
+	// the paper's "broadcast to all including self" (Algorithm 1).
+	Send(to ids.ProcessID, m wire.Message)
+	// Now returns the current time (virtual in simulations).
+	Now() time.Duration
+	// After schedules fn to run on this process's event loop after d.
+	After(d time.Duration, fn func()) Timer
+	// Rand returns this process's deterministic randomness source.
+	Rand() *rand.Rand
+	// Auth returns the authenticator used to sign and verify messages.
+	Auth() crypto.Authenticator
+	// Logger returns the process's logger.
+	Logger() logging.Logger
+	// Metrics returns the shared experiment registry.
+	Metrics() *metrics.Registry
+}
+
+// Node is a protocol instance: the simulator or transport calls Init
+// once, then Receive for every arriving message, all on one logical
+// thread.
+type Node interface {
+	// Init is called once before any message is delivered.
+	Init(env Env)
+	// Receive handles a message from the (link-authenticated) sender.
+	Receive(from ids.ProcessID, m wire.Message)
+}
+
+// Broadcast sends m to every process in Π, including the sender itself
+// when includeSelf is set (Algorithm 1 broadcasts updates "to all
+// including self").
+func Broadcast(env Env, m wire.Message, includeSelf bool) {
+	for _, p := range env.Config().All() {
+		if p == env.ID() && !includeSelf {
+			continue
+		}
+		env.Send(p, m)
+	}
+}
+
+// Sign attaches env's signature to a signed message, panicking on
+// signing failure (a process that cannot sign with its own key is
+// misconfigured beyond recovery).
+func Sign(env Env, m wire.Signed) {
+	sig, err := env.Auth().Sign(env.ID(), m.SigBytes())
+	if err != nil {
+		panic("runtime: cannot sign with own key: " + err.Error())
+	}
+	m.SetSignature(sig)
+}
+
+// Verify checks a signed message against its claimed signer.
+func Verify(env Env, m wire.Signed) error {
+	return env.Auth().Verify(m.Signer(), m.SigBytes(), m.Signature())
+}

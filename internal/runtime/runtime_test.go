@@ -1,0 +1,95 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/wire"
+)
+
+// collector records deliveries.
+type collector struct {
+	env  runtime.Env
+	from []ids.ProcessID
+}
+
+func (c *collector) Init(env runtime.Env) { c.env = env }
+func (c *collector) Receive(from ids.ProcessID, m wire.Message) {
+	c.from = append(c.from, from)
+}
+
+func newNet(t *testing.T, auth crypto.Authenticator) (*sim.Network, map[ids.ProcessID]*collector) {
+	t.Helper()
+	cfg := ids.MustConfig(4, 1)
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	cs := make(map[ids.ProcessID]*collector, cfg.N)
+	for _, p := range cfg.All() {
+		c := &collector{}
+		cs[p] = c
+		nodes[p] = c
+	}
+	return sim.NewNetwork(cfg, nodes, sim.Options{Auth: auth}), cs
+}
+
+func TestBroadcastExcludeSelf(t *testing.T) {
+	net, cs := newNet(t, nil)
+	runtime.Broadcast(net.Env(2), &wire.Heartbeat{From: 2, Seq: 1}, false)
+	net.Run(time.Second)
+	if len(cs[2].from) != 0 {
+		t.Error("excludeSelf broadcast delivered to sender")
+	}
+	for _, p := range []ids.ProcessID{1, 3, 4} {
+		if len(cs[p].from) != 1 || cs[p].from[0] != 2 {
+			t.Errorf("%s: deliveries = %v", p, cs[p].from)
+		}
+	}
+}
+
+func TestBroadcastIncludeSelf(t *testing.T) {
+	net, cs := newNet(t, nil)
+	runtime.Broadcast(net.Env(2), &wire.Heartbeat{From: 2, Seq: 1}, true)
+	net.Run(time.Second)
+	for _, p := range net.Config().All() {
+		if len(cs[p].from) != 1 {
+			t.Errorf("%s: deliveries = %v", p, cs[p].from)
+		}
+	}
+}
+
+func TestSignVerifyHelpers(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	auth := crypto.NewHMACRing(cfg, []byte("k"))
+	net, _ := newNet(t, auth)
+	env := net.Env(3)
+
+	m := &wire.Update{Owner: 3, Row: make([]uint64, 4)}
+	runtime.Sign(env, m)
+	if err := runtime.Verify(env, m); err != nil {
+		t.Errorf("Verify after Sign: %v", err)
+	}
+	m.Row[0] = 9 // tamper
+	if err := runtime.Verify(env, m); err == nil {
+		t.Error("Verify accepted tampered message")
+	}
+}
+
+func TestSignPanicsWithoutKey(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	full, err := crypto.NewEd25519Ring(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p3's env but a keyring view holding only p1's private key.
+	net, _ := newNet(t, full.View(1))
+	env := net.Env(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Sign without own key did not panic")
+		}
+	}()
+	runtime.Sign(env, &wire.Update{Owner: 3, Row: make([]uint64, 4)})
+}

@@ -1,0 +1,379 @@
+// Package sim is a deterministic discrete-event simulator for the
+// protocols in this repository. It models the paper's system: processes
+// connected by reliable, asynchronous, per-link-FIFO channels, with an
+// adversary hook controlling drops and delays on links from faulty
+// processes.
+//
+// Determinism: all randomness flows from one seed; events at equal
+// virtual times fire in scheduling order. Two runs with the same seed
+// and the same node implementations produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// DefaultLatency is the base one-way link latency when no latency model
+// is configured.
+const DefaultLatency = 10 * time.Millisecond
+
+// LatencyModel computes the one-way latency for a message on a link.
+// It must be deterministic given the rng state.
+type LatencyModel func(from, to ids.ProcessID, rng *rand.Rand) time.Duration
+
+// ConstantLatency returns a model with a fixed latency on all links.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(ids.ProcessID, ids.ProcessID, *rand.Rand) time.Duration { return d }
+}
+
+// UniformLatency returns a model drawing latencies uniformly from
+// [min, max] on every link.
+func UniformLatency(min, max time.Duration) LatencyModel {
+	if max < min {
+		min, max = max, min
+	}
+	return func(_, _ ids.ProcessID, rng *rand.Rand) time.Duration {
+		if max == min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min)+1))
+	}
+}
+
+// Verdict is the adversary's decision about one message on one link.
+type Verdict struct {
+	// Drop suppresses delivery entirely (an omission on this link).
+	Drop bool
+	// Delay adds to the link latency (a timing failure on this link).
+	Delay time.Duration
+}
+
+// Filter is the adversary's network hook, consulted for every message.
+// The zero Verdict means normal delivery.
+type Filter interface {
+	Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) Verdict
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(from, to ids.ProcessID, m wire.Message, now time.Duration) Verdict
+
+// Filter implements Filter.
+func (f FilterFunc) Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) Verdict {
+	return f(from, to, m, now)
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives all randomness in the run. The zero seed is valid
+	// and distinct from seed 1.
+	Seed int64
+	// Latency is the link latency model; nil means DefaultLatency.
+	Latency LatencyModel
+	// Filter is the adversary hook; nil means no interference.
+	Filter Filter
+	// Auth is the authenticator handed to every process; nil means
+	// crypto.NopRing (protocol-level adversary modeling).
+	Auth crypto.Authenticator
+	// Logger receives all process logs; nil means logging.Nop.
+	Logger logging.Logger
+	// Metrics receives message accounting; nil allocates a fresh
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// Network is the simulated system: the event queue, the clock, and one
+// Env per process.
+type Network struct {
+	cfg     ids.Config
+	opts    Options
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	envs    map[ids.ProcessID]*procEnv
+	nodes   map[ids.ProcessID]runtime.Node
+	lastArr map[linkKey]time.Duration
+	rng     *rand.Rand
+	metrics *metrics.Registry
+	log     logging.Logger
+	steps   uint64
+}
+
+type linkKey struct {
+	from, to ids.ProcessID
+}
+
+// NewNetwork builds a simulated network for cfg with the given nodes.
+// Every process in Π must have a node implementation.
+func NewNetwork(cfg ids.Config, nodes map[ids.ProcessID]runtime.Node, opts Options) *Network {
+	if opts.Latency == nil {
+		opts.Latency = ConstantLatency(DefaultLatency)
+	}
+	if opts.Auth == nil {
+		opts.Auth = crypto.NopRing{}
+	}
+	if opts.Logger == nil {
+		opts.Logger = logging.Nop
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	n := &Network{
+		cfg:     cfg,
+		opts:    opts,
+		envs:    make(map[ids.ProcessID]*procEnv, cfg.N),
+		nodes:   make(map[ids.ProcessID]runtime.Node, cfg.N),
+		lastArr: make(map[linkKey]time.Duration),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		metrics: opts.Metrics,
+		log:     opts.Logger,
+	}
+	for _, p := range cfg.All() {
+		node, ok := nodes[p]
+		if !ok {
+			panic(fmt.Sprintf("sim: no node implementation for %s", p))
+		}
+		n.nodes[p] = node
+		n.envs[p] = &procEnv{
+			net: n,
+			id:  p,
+			rng: rand.New(rand.NewSource(opts.Seed ^ int64(p)*0x5851f42d4c957f2d)),
+			log: logging.Tagged(opts.Logger, p.String()),
+		}
+	}
+	for _, p := range cfg.All() {
+		n.nodes[p].Init(n.envs[p])
+	}
+	return n
+}
+
+// Config returns the system parameters.
+func (n *Network) Config() ids.Config { return n.cfg }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Metrics returns the run's registry.
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+// Env returns the environment of process p, letting tests and
+// experiments inject events as if they were local modules.
+func (n *Network) Env(p ids.ProcessID) runtime.Env { return n.envs[p] }
+
+// SetFilter replaces the adversary hook mid-run (nil removes it),
+// enabling dynamic scenarios — partitions that open and heal, faults
+// that start late — without pre-baking a schedule into the filter.
+// Messages already in flight keep their original verdicts.
+func (n *Network) SetFilter(f Filter) { n.opts.Filter = f }
+
+// Steps returns the number of events processed so far.
+func (n *Network) Steps() uint64 { return n.steps }
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return n.queue.Len() }
+
+// Step processes the next event; it reports false if the queue is
+// empty.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < n.now {
+			panic("sim: time went backwards")
+		}
+		n.now = ev.at
+		n.steps++
+		ev.fired = true
+		ev.fire()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or the virtual clock
+// passes until. It returns the number of events processed.
+func (n *Network) Run(until time.Duration) int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		next := n.queue.peek()
+		if next.at > until {
+			break
+		}
+		if n.Step() {
+			processed++
+		}
+	}
+	// Advance the clock even if nothing was left to do, so repeated
+	// Run calls move time forward deterministically.
+	if n.now < until {
+		n.now = until
+	}
+	return processed
+}
+
+// RunUntil processes events until pred holds (checked after every
+// event), the queue drains, or the virtual clock passes maxTime. It
+// reports whether pred held.
+func (n *Network) RunUntil(pred func() bool, maxTime time.Duration) bool {
+	if pred() {
+		return true
+	}
+	for n.queue.Len() > 0 && n.now <= maxTime {
+		if next := n.queue.peek(); next.at > maxTime {
+			break
+		}
+		n.Step()
+		if pred() {
+			return true
+		}
+	}
+	return pred()
+}
+
+// RunQuiescent processes events until no events remain or maxTime
+// passes. Protocols with periodic timers (heartbeats) never quiesce;
+// use Run instead.
+func (n *Network) RunQuiescent(maxTime time.Duration) int {
+	return n.Run(maxTime)
+}
+
+func (n *Network) schedule(at time.Duration, fn func()) *event {
+	ev := &event{at: at, seq: n.seq, fire: fn}
+	n.seq++
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// send models one message transmission with adversary filtering, link
+// latency and per-link FIFO.
+func (n *Network) send(from, to ids.ProcessID, m wire.Message) {
+	n.metrics.Inc("msg.sent."+m.Kind().String(), 1)
+	n.metrics.Inc("msg.sent.total", 1)
+	if from != to {
+		n.metrics.Inc("msg.sent.remote", 1)
+	}
+	var verdict Verdict
+	if n.opts.Filter != nil {
+		verdict = n.opts.Filter.Filter(from, to, m, n.now)
+	}
+	if verdict.Drop {
+		n.metrics.Inc("msg.dropped.total", 1)
+		return
+	}
+	lat := n.opts.Latency(from, to, n.rng) + verdict.Delay
+	if lat < 0 {
+		lat = 0
+	}
+	at := n.now + lat
+	key := linkKey{from: from, to: to}
+	// Reliable FIFO links: arrival times on one link never reorder.
+	if last, ok := n.lastArr[key]; ok && at < last {
+		at = last
+	}
+	n.lastArr[key] = at
+	// Round-trip through the codec: what arrives is what was encoded,
+	// never a shared pointer — and undecodable garbage can't be sent.
+	data := wire.Encode(m)
+	n.schedule(at, func() {
+		decoded, err := wire.Decode(data)
+		if err != nil {
+			panic(fmt.Sprintf("sim: message failed decode in flight: %v", err))
+		}
+		n.metrics.Inc("msg.delivered.total", 1)
+		n.nodes[to].Receive(from, decoded)
+	})
+}
+
+// procEnv implements runtime.Env for one simulated process.
+type procEnv struct {
+	net *Network
+	id  ids.ProcessID
+	rng *rand.Rand
+	log logging.Logger
+}
+
+var _ runtime.Env = (*procEnv)(nil)
+
+func (e *procEnv) ID() ids.ProcessID          { return e.id }
+func (e *procEnv) Config() ids.Config         { return e.net.cfg }
+func (e *procEnv) Now() time.Duration         { return e.net.now }
+func (e *procEnv) Rand() *rand.Rand           { return e.rng }
+func (e *procEnv) Auth() crypto.Authenticator { return e.net.opts.Auth }
+func (e *procEnv) Logger() logging.Logger     { return e.log }
+func (e *procEnv) Metrics() *metrics.Registry { return e.net.metrics }
+
+func (e *procEnv) Send(to ids.ProcessID, m wire.Message) {
+	if !to.Valid(e.net.cfg.N) {
+		panic(fmt.Sprintf("sim: %s sending to %s outside Π", e.id, to))
+	}
+	e.net.send(e.id, to, m)
+}
+
+func (e *procEnv) After(d time.Duration, fn func()) runtime.Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.net.schedule(e.net.now+d, fn)
+	return ev
+}
+
+// event is a scheduled occurrence; it doubles as the runtime.Timer
+// handle returned by After.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	index    int
+	canceled bool
+	fired    bool
+	fire     func()
+}
+
+// Stop implements runtime.Timer.
+func (ev *event) Stop() bool {
+	if ev.canceled || ev.fired {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+func (q eventQueue) peek() *event { return q[0] }

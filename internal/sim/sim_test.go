@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// echoNode records received heartbeats and can send on demand.
+type echoNode struct {
+	env      runtime.Env
+	received []string
+}
+
+func (e *echoNode) Init(env runtime.Env) { e.env = env }
+
+func (e *echoNode) Receive(from ids.ProcessID, m wire.Message) {
+	hb, ok := m.(*wire.Heartbeat)
+	if !ok {
+		return
+	}
+	e.received = append(e.received, fmt.Sprintf("%s/%d@%v", from, hb.Seq, e.env.Now()))
+}
+
+func newEchoNet(t *testing.T, n, f int, opts Options) (*Network, map[ids.ProcessID]*echoNode) {
+	t.Helper()
+	cfg := ids.MustConfig(n, f)
+	nodes := make(map[ids.ProcessID]runtime.Node, n)
+	echoes := make(map[ids.ProcessID]*echoNode, n)
+	for _, p := range cfg.All() {
+		e := &echoNode{}
+		echoes[p] = e
+		nodes[p] = e
+	}
+	return NewNetwork(cfg, nodes, opts), echoes
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	net, echoes := newEchoNet(t, 4, 1, Options{Latency: ConstantLatency(5 * time.Millisecond)})
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Run(time.Second)
+	got := echoes[2].received
+	if len(got) != 1 {
+		t.Fatalf("p2 received %v, want one heartbeat", got)
+	}
+	if got[0] != "p1/1@5ms" {
+		t.Errorf("delivery = %q, want p1/1@5ms", got[0])
+	}
+}
+
+func TestSelfSendDelivers(t *testing.T) {
+	net, echoes := newEchoNet(t, 4, 1, Options{})
+	net.Env(3).Send(3, &wire.Heartbeat{From: 3, Seq: 9})
+	net.Run(time.Second)
+	if len(echoes[3].received) != 1 {
+		t.Fatal("self-send not delivered")
+	}
+}
+
+func TestBroadcastIncludeSelf(t *testing.T) {
+	net, echoes := newEchoNet(t, 4, 1, Options{})
+	runtime.Broadcast(net.Env(1), &wire.Heartbeat{From: 1, Seq: 1}, true)
+	net.Run(time.Second)
+	for p, e := range echoes {
+		if len(e.received) != 1 {
+			t.Errorf("%s received %d messages, want 1", p, len(e.received))
+		}
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	// With random latencies, FIFO must still hold per link.
+	net, echoes := newEchoNet(t, 4, 1, Options{
+		Seed:    3,
+		Latency: UniformLatency(1*time.Millisecond, 50*time.Millisecond),
+	})
+	for i := 1; i <= 20; i++ {
+		net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: uint64(i)})
+	}
+	net.Run(time.Second)
+	got := echoes[2].received
+	if len(got) != 20 {
+		t.Fatalf("received %d, want 20", len(got))
+	}
+	for i, s := range got {
+		var wantPrefix = fmt.Sprintf("p1/%d@", i+1)
+		if len(s) < len(wantPrefix) || s[:len(wantPrefix)] != wantPrefix {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		net, echoes := newEchoNet(t, 5, 2, Options{
+			Seed:    42,
+			Latency: UniformLatency(time.Millisecond, 30*time.Millisecond),
+		})
+		for i := 1; i <= 10; i++ {
+			for _, p := range net.Config().All() {
+				net.Env(p).Send(ids.ProcessID(i%5+1), &wire.Heartbeat{From: p, Seq: uint64(i)})
+			}
+		}
+		net.Run(time.Second)
+		var all []string
+		for _, p := range net.Config().All() {
+			all = append(all, echoes[p].received...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdversaryDrop(t *testing.T) {
+	drop := FilterFunc(func(from, to ids.ProcessID, m wire.Message, _ time.Duration) Verdict {
+		return Verdict{Drop: from == 1 && to == 2}
+	})
+	net, echoes := newEchoNet(t, 4, 1, Options{Filter: drop})
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Env(1).Send(3, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Run(time.Second)
+	if len(echoes[2].received) != 0 {
+		t.Error("dropped message delivered")
+	}
+	if len(echoes[3].received) != 1 {
+		t.Error("unrelated link affected by drop")
+	}
+	if net.Metrics().Counter("msg.dropped.total") != 1 {
+		t.Error("drop not accounted")
+	}
+}
+
+func TestAdversaryDelay(t *testing.T) {
+	delay := FilterFunc(func(from, to ids.ProcessID, m wire.Message, _ time.Duration) Verdict {
+		if from == 1 {
+			return Verdict{Delay: 100 * time.Millisecond}
+		}
+		return Verdict{}
+	})
+	net, echoes := newEchoNet(t, 4, 1, Options{
+		Latency: ConstantLatency(time.Millisecond),
+		Filter:  delay,
+	})
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Env(3).Send(2, &wire.Heartbeat{From: 3, Seq: 1})
+	net.Run(time.Second)
+	got := echoes[2].received
+	if len(got) != 2 {
+		t.Fatalf("received %v", got)
+	}
+	// p3's message (1ms) must arrive before p1's delayed one (101ms).
+	if got[0] != "p3/1@1ms" || got[1] != "p1/1@101ms" {
+		t.Errorf("deliveries = %v", got)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	net, _ := newEchoNet(t, 4, 1, Options{})
+	var fired []time.Duration
+	env := net.Env(1)
+	env.After(30*time.Millisecond, func() { fired = append(fired, env.Now()) })
+	env.After(10*time.Millisecond, func() { fired = append(fired, env.Now()) })
+	stopped := env.After(20*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+	if stopped.Stop() {
+		t.Error("second Stop returned true")
+	}
+	net.Run(time.Second)
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 30*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	net, _ := newEchoNet(t, 4, 1, Options{})
+	timer := net.Env(1).After(time.Millisecond, func() {})
+	net.Run(time.Second)
+	if timer.Stop() {
+		t.Error("Stop after firing returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	net, echoes := newEchoNet(t, 4, 1, Options{Latency: ConstantLatency(time.Millisecond)})
+	for i := 1; i <= 5; i++ {
+		net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: uint64(i)})
+	}
+	ok := net.RunUntil(func() bool { return len(echoes[2].received) >= 3 }, time.Second)
+	if !ok {
+		t.Fatal("RunUntil did not reach predicate")
+	}
+	if len(echoes[2].received) != 3 {
+		t.Errorf("RunUntil overran: %d deliveries", len(echoes[2].received))
+	}
+	// Predicate that can never hold: must stop at maxTime.
+	if net.RunUntil(func() bool { return false }, 2*time.Second) {
+		t.Error("impossible predicate reported true")
+	}
+}
+
+func TestClockAdvancesOnEmptyRun(t *testing.T) {
+	net, _ := newEchoNet(t, 4, 1, Options{})
+	net.Run(500 * time.Millisecond)
+	if net.Now() != 500*time.Millisecond {
+		t.Errorf("Now = %v, want 500ms", net.Now())
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	net, _ := newEchoNet(t, 4, 1, Options{})
+	runtime.Broadcast(net.Env(1), &wire.Heartbeat{From: 1, Seq: 1}, false)
+	net.Run(time.Second)
+	m := net.Metrics()
+	if got := m.Counter("msg.sent.HEARTBEAT"); got != 3 {
+		t.Errorf("sent.HEARTBEAT = %d, want 3", got)
+	}
+	if got := m.Counter("msg.sent.remote"); got != 3 {
+		t.Errorf("sent.remote = %d, want 3", got)
+	}
+	if got := m.Counter("msg.delivered.total"); got != 3 {
+		t.Errorf("delivered = %d, want 3", got)
+	}
+}
+
+func TestSetFilterMidRun(t *testing.T) {
+	net, echoes := newEchoNet(t, 4, 1, Options{Latency: ConstantLatency(time.Millisecond)})
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Run(10 * time.Millisecond)
+	// Install a drop filter mid-run.
+	net.SetFilter(FilterFunc(func(from, to ids.ProcessID, _ wire.Message, _ time.Duration) Verdict {
+		return Verdict{Drop: from == 1 && to == 2}
+	}))
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 2})
+	net.Run(net.Now() + 10*time.Millisecond)
+	// Remove it again.
+	net.SetFilter(nil)
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 3})
+	net.Run(net.Now() + 10*time.Millisecond)
+
+	got := echoes[2].received
+	if len(got) != 2 {
+		t.Fatalf("received %v, want seq 1 and 3 only", got)
+	}
+	if got[0][:5] != "p1/1@" || got[1][:5] != "p1/3@" {
+		t.Errorf("received %v", got)
+	}
+}
+
+func TestCodecInFlight(t *testing.T) {
+	// Messages must round-trip through the codec: mutations after Send
+	// must not be visible to the receiver.
+	net, echoes := newEchoNet(t, 4, 1, Options{})
+	hb := &wire.Heartbeat{From: 1, Seq: 1}
+	net.Env(1).Send(2, hb)
+	hb.Seq = 999
+	net.Run(time.Second)
+	if got := echoes[2].received[0]; got != "p1/1@10ms" {
+		t.Errorf("mutation after send leaked: %v", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package suspicion implements the eventually-consistent suspicion
+// data structure of Algorithm 1 (§VI-A): an n×n matrix where entry
+// [l][k] records the last epoch in which process l suspected process k.
+//
+// Rows are owned: only process l's signature can update row l. Updates
+// are broadcast, merged by pointwise maximum, and forwarded on change,
+// so the matrix is a join-semilattice CRDT — correct processes converge
+// to the same state regardless of delivery order, even when faulty
+// processes equivocate (send different updates to different processes):
+// as the paper observes, equivocation only makes the merged state grow
+// faster.
+//
+// Paper typo adopted (see DESIGN.md): Algorithm 1 line 14 reads
+// suspected[j][i] ← epoch, but every other use makes the row index the
+// suspecting process, so the local stamp is suspected[i][j] ← epoch.
+package suspicion
+
+import (
+	"fmt"
+
+	"quorumselect/internal/graph"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Forward controls gossip forwarding of changed updates (Algorithm
+	// 1 line 23). Disabling it is the E10(a) ablation: correct
+	// processes then only converge if the original sender reaches
+	// everyone directly.
+	Forward bool
+}
+
+// DefaultOptions returns the paper's configuration (forwarding on).
+func DefaultOptions() Options { return Options{Forward: true} }
+
+// Store is one process's replica of the suspicion matrix, together
+// with the epoch counter and current local suspicions of Algorithm 1.
+type Store struct {
+	env  runtime.Env
+	opts Options
+	cfg  ids.Config
+
+	epoch      uint64
+	suspecting ids.ProcSet
+	matrix     [][]uint64
+
+	onChange func()
+	log      logging.Logger
+}
+
+// New returns a Store for the given configuration with epoch 1 and an
+// all-zero matrix, matching Algorithm 1's initial state.
+func New(cfg ids.Config, opts Options) *Store {
+	m := make([][]uint64, cfg.N)
+	for i := range m {
+		m[i] = make([]uint64, cfg.N)
+	}
+	return &Store{
+		opts:       opts,
+		cfg:        cfg,
+		epoch:      1,
+		suspecting: ids.NewProcSet(),
+		matrix:     m,
+	}
+}
+
+// Bind attaches the store to its environment. onChange fires after any
+// merge that changed the matrix — the selector's updateQuorum hook
+// (Algorithm 1 line 24).
+func (s *Store) Bind(env runtime.Env, onChange func()) {
+	s.env = env
+	s.onChange = onChange
+	s.log = env.Logger()
+}
+
+// Epoch returns the current epoch.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// Suspecting returns the processes this process currently suspects (a
+// copy of the variable `suspecting` of Algorithm 1).
+func (s *Store) Suspecting() ids.ProcSet { return s.suspecting.Clone() }
+
+// Value returns matrix[l][k]: the last epoch in which l suspected k.
+func (s *Store) Value(l, k ids.ProcessID) uint64 {
+	return s.matrix[s.idx(l)][s.idx(k)]
+}
+
+// Row returns a copy of l's suspicion row.
+func (s *Store) Row(l ids.ProcessID) []uint64 {
+	return append([]uint64(nil), s.matrix[s.idx(l)]...)
+}
+
+func (s *Store) idx(p ids.ProcessID) int {
+	if !p.Valid(s.cfg.N) {
+		panic(fmt.Sprintf("suspicion: %s outside Π with n=%d", p, s.cfg.N))
+	}
+	return int(p) - 1
+}
+
+// UpdateSuspicions is Algorithm 1's updateSuspicions(S): record S as
+// the current suspicions, stamp them with the current epoch in the own
+// row, and broadcast the signed row to all processes including self.
+//
+// Deviation from the pseudocode's event plumbing: Algorithm 1 relies on
+// the self-addressed UPDATE to re-enter updateQuorum, but the UPDATE
+// handler only reacts to rows *greater* than the stored ones — and the
+// local row was already stamped before broadcasting, so the self-copy
+// merges as a no-op and the issuing process itself would never
+// re-evaluate. We therefore fire onChange directly here whenever the
+// stamping changed the matrix. (The self-broadcast is kept: it is
+// harmless and preserves the paper's message pattern.)
+func (s *Store) UpdateSuspicions(suspected ids.ProcSet) {
+	s.suspecting = suspected.Clone()
+	self := s.idx(s.env.ID())
+	changed := false
+	for _, p := range suspected.Sorted() {
+		if s.matrix[self][s.idx(p)] != s.epoch {
+			s.matrix[self][s.idx(p)] = s.epoch
+			changed = true
+		}
+	}
+	up := &wire.Update{
+		Owner: s.env.ID(),
+		Row:   append([]uint64(nil), s.matrix[self]...),
+	}
+	runtime.Sign(s.env, up)
+	s.env.Metrics().Inc("suspicion.update.broadcast", 1)
+	runtime.Broadcast(s.env, up, true)
+	if changed && s.onChange != nil {
+		s.onChange()
+	}
+}
+
+// AdvanceEpoch increments the epoch (Algorithm 1 line 28) and re-issues
+// the current suspicions in the new epoch (line 29).
+func (s *Store) AdvanceEpoch() {
+	s.IncrementEpoch()
+	s.UpdateSuspicions(s.suspecting)
+}
+
+// IncrementEpoch bumps the epoch without re-issuing suspicions.
+// Algorithm 2 (Follower Selection) needs the two steps separated: it
+// cancels expectations and installs the default quorum between them
+// (lines 10–15).
+func (s *Store) IncrementEpoch() {
+	s.epoch++
+	s.env.Metrics().Inc("suspicion.epoch.advanced", 1)
+	s.log.Logf(logging.LevelDebug, "suspicion: advancing to epoch %d", s.epoch)
+}
+
+// ObserveEpoch fast-forwards the local epoch when merged suspicions
+// show that another process already reached a later epoch. Without it
+// the store is still correct (the local process catches up by
+// advancing through intermediate epochs); with it convergence needs
+// fewer rounds. It never moves the epoch backwards.
+func (s *Store) ObserveEpoch(e uint64) {
+	if e > s.epoch {
+		s.epoch = e
+	}
+}
+
+// HandleUpdate merges a (signature-verified) UPDATE message into the
+// matrix (Algorithm 1 lines 16-24). It returns true if the local state
+// changed; in that case the message was forwarded to all other
+// processes and the onChange hook fired.
+func (s *Store) HandleUpdate(m *wire.Update) bool {
+	if !m.Owner.Valid(s.cfg.N) || len(m.Row) != s.cfg.N {
+		s.env.Metrics().Inc("suspicion.update.malformed", 1)
+		s.log.Logf(logging.LevelDebug, "suspicion: malformed update from %s (len=%d)", m.Owner, len(m.Row))
+		return false
+	}
+	row := s.matrix[s.idx(m.Owner)]
+	changed := false
+	for k := range row {
+		if m.Row[k] > row[k] {
+			row[k] = m.Row[k]
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	s.env.Metrics().Inc("suspicion.update.merged", 1)
+	if s.opts.Forward {
+		s.env.Metrics().Inc("suspicion.update.forwarded", 1)
+		runtime.Broadcast(s.env, m, false)
+	}
+	if s.onChange != nil {
+		s.onChange()
+	}
+	return true
+}
+
+// SuspectGraph builds the suspect graph G of §VI-B for the current
+// epoch e: nodes are Π, and {l, k} is an edge iff l suspected k in
+// epoch e or later, or vice versa.
+func (s *Store) SuspectGraph() *graph.Graph {
+	return s.SuspectGraphAt(s.epoch)
+}
+
+// SuspectGraphAt builds the suspect graph for an explicit epoch.
+func (s *Store) SuspectGraphAt(epoch uint64) *graph.Graph {
+	g := graph.New(s.cfg.N)
+	for l := 0; l < s.cfg.N; l++ {
+		for k := l + 1; k < s.cfg.N; k++ {
+			if s.matrix[l][k] >= epoch || s.matrix[k][l] >= epoch {
+				g.AddEdge(ids.ProcessID(l+1), ids.ProcessID(k+1))
+			}
+		}
+	}
+	return g
+}
+
+// MaxEpochSeen returns the largest epoch stamp anywhere in the matrix;
+// used by selectors to detect that the system has moved on.
+func (s *Store) MaxEpochSeen() uint64 {
+	var max uint64
+	for _, row := range s.matrix {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Snapshot returns a deep copy of the matrix for assertions.
+func (s *Store) Snapshot() [][]uint64 {
+	out := make([][]uint64, len(s.matrix))
+	for i, row := range s.matrix {
+		out[i] = append([]uint64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package trace captures structured, virtually-timestamped protocol
+// events from simulation runs. It plugs in as a logging.Logger, so
+// every module's existing log lines become queryable events without
+// touching protocol code; the simulator's deterministic clock makes
+// traces reproducible byte-for-byte across runs with the same seed.
+//
+// Typical use:
+//
+//	rec := trace.NewRecorder(clock, logging.LevelDebug)
+//	net := sim.NewNetwork(cfg, nodes, sim.Options{Logger: rec})
+//	...
+//	fmt.Print(rec.Timeline(trace.Filter{Contains: "QUORUM"}))
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"quorumselect/internal/logging"
+)
+
+// Clock supplies the timestamp for each event — in simulations, the
+// network's virtual clock (sim.Network.Now satisfies it via a closure).
+type Clock func() time.Duration
+
+// Event is one captured log line.
+type Event struct {
+	At      time.Duration
+	Level   logging.Level
+	Message string
+}
+
+// String renders the event as a timeline row.
+func (e Event) String() string {
+	return fmt.Sprintf("%10s %-5s %s", e.At, e.Level, e.Message)
+}
+
+// Recorder captures events up to a maximum level. It is safe for
+// concurrent use (the TCP transport logs from multiple goroutines).
+type Recorder struct {
+	clock Clock
+	max   logging.Level
+
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ logging.Logger = (*Recorder)(nil)
+
+// NewRecorder returns a recorder timestamping with clock (nil clock
+// records zero timestamps) and capturing lines at or below max.
+func NewRecorder(clock Clock, max logging.Level) *Recorder {
+	return &Recorder{clock: clock, max: max}
+}
+
+// Logf implements logging.Logger.
+func (r *Recorder) Logf(level logging.Level, format string, args ...any) {
+	if level > r.max {
+		return
+	}
+	var at time.Duration
+	if r.clock != nil {
+		at = r.clock()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{At: at, Level: level, Message: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of captured events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Filter selects events.
+type Filter struct {
+	// Contains keeps only events whose message contains this substring
+	// (empty keeps all).
+	Contains string
+	// MaxLevel keeps only events at or below this level (zero keeps
+	// all).
+	MaxLevel logging.Level
+	// From/To bound the timestamps; a zero To means no upper bound.
+	From, To time.Duration
+}
+
+func (f Filter) match(e Event) bool {
+	if f.Contains != "" && !strings.Contains(e.Message, f.Contains) {
+		return false
+	}
+	if f.MaxLevel != 0 && e.Level > f.MaxLevel {
+		return false
+	}
+	if e.At < f.From {
+		return false
+	}
+	if f.To != 0 && e.At > f.To {
+		return false
+	}
+	return true
+}
+
+// Events returns a copy of the matching events, in capture order
+// (which, under the deterministic simulator, is causal order).
+func (r *Recorder) Events(f Filter) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if f.match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Timeline renders the matching events, one per line.
+func (r *Recorder) Timeline(f Filter) string {
+	var b strings.Builder
+	for _, e := range r.Events(f) {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}
+
+// Count returns how many events match.
+func (r *Recorder) Count(f Filter) int { return len(r.Events(f)) }

@@ -1,0 +1,512 @@
+// Package transport runs the same protocol nodes that the simulator
+// drives (runtime.Node implementations) over real TCP connections.
+//
+// Each process is a Host: a listener plus on-demand dialed peer
+// connections. Frames are length-prefixed canonical wire encodings,
+// preceded on each connection by a 4-byte hello naming the sending
+// process. All inbound messages and timer callbacks are serialized onto
+// one event loop per Host, preserving the paper's single-threaded
+// module semantics, so protocol code needs no locks here either.
+//
+// Link authentication is the hello claim plus per-message content
+// signatures (ed25519/HMAC via the crypto package) on every Signed
+// message; heartbeats are accepted on the hello claim alone. A
+// production deployment would add TLS on the links; the paper's
+// adversary model only requires unforgeable message signatures, which
+// the content signatures provide.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"math/rand"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// maxFrame bounds accepted frame sizes.
+const maxFrame = 4 << 20
+
+// dialRetryDelay paces reconnection attempts.
+const dialRetryDelay = 100 * time.Millisecond
+
+// Config describes one process of a TCP deployment.
+type Config struct {
+	// Self is this process's identity.
+	Self ids.ProcessID
+	// System holds the replication parameters (n, f).
+	System ids.Config
+	// ListenAddr is the local address to listen on (e.g.
+	// "127.0.0.1:7001"). If empty, an ephemeral localhost port is
+	// used; Addr reports it.
+	ListenAddr string
+	// Peers maps every other process to its address. Entries may be
+	// filled in later with SetPeerAddr (before traffic to that peer).
+	Peers map[ids.ProcessID]string
+	// Auth signs and verifies messages (default crypto.NopRing).
+	Auth crypto.Authenticator
+	// Logger receives transport and protocol logs (default
+	// logging.Nop).
+	Logger logging.Logger
+	// Metrics receives accounting (default: fresh registry).
+	Metrics *metrics.Registry
+	// Seed drives the Env's randomness (default 1).
+	Seed int64
+}
+
+// Host runs one runtime.Node over TCP.
+type Host struct {
+	cfg  Config
+	node runtime.Node
+
+	listener net.Listener
+	events   chan func()
+	done     chan struct{}
+	wg       sync.WaitGroup
+	start    time.Time
+
+	mu      sync.Mutex
+	addrs   map[ids.ProcessID]string
+	writers map[ids.ProcessID]*peerWriter
+	closed  bool
+
+	env *hostEnv
+}
+
+// NewHost creates and starts a Host: it listens, starts the event loop,
+// and calls node.Init on the loop.
+func NewHost(cfg Config, node runtime.Node) (*Host, error) {
+	if cfg.Auth == nil {
+		cfg.Auth = crypto.NopRing{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = logging.Nop
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if !cfg.Self.Valid(cfg.System.N) {
+		return nil, fmt.Errorf("transport: self %s outside Π with n=%d", cfg.Self, cfg.System.N)
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	h := &Host{
+		cfg:      cfg,
+		node:     node,
+		listener: ln,
+		events:   make(chan func(), 1024),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+		addrs:    make(map[ids.ProcessID]string, len(cfg.Peers)),
+		writers:  make(map[ids.ProcessID]*peerWriter),
+	}
+	for p, a := range cfg.Peers {
+		h.addrs[p] = a
+	}
+	h.env = &hostEnv{
+		h:   h,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Self))),
+		log: logging.Tagged(cfg.Logger, cfg.Self.String()),
+	}
+
+	h.wg.Add(2)
+	go h.acceptLoop()
+	go h.eventLoop()
+
+	initDone := make(chan struct{})
+	h.events <- func() {
+		node.Init(h.env)
+		close(initDone)
+	}
+	<-initDone
+	return h, nil
+}
+
+// Addr returns the listener's address (useful with ephemeral ports).
+func (h *Host) Addr() string { return h.listener.Addr().String() }
+
+// SetPeerAddr records or updates a peer's address.
+func (h *Host) SetPeerAddr(p ids.ProcessID, addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.addrs[p] = addr
+}
+
+// Do runs fn on the host's event loop and waits for it — the way tests
+// and frontends interact with the protocol node safely.
+func (h *Host) Do(fn func()) {
+	doneCh := make(chan struct{})
+	select {
+	case h.events <- func() { fn(); close(doneCh) }:
+		<-doneCh
+	case <-h.done:
+	}
+}
+
+// Close shuts the host down and waits for its goroutines.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	writers := make([]*peerWriter, 0, len(h.writers))
+	for _, w := range h.writers {
+		writers = append(writers, w)
+	}
+	h.mu.Unlock()
+
+	close(h.done)
+	err := h.listener.Close()
+	for _, w := range writers {
+		w.close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) eventLoop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case fn := <-h.events:
+			fn()
+		case <-h.done:
+			return
+		}
+	}
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.listener.Accept()
+		if err != nil {
+			select {
+			case <-h.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		h.wg.Add(1)
+		go h.readLoop(conn)
+	}
+}
+
+// readLoop consumes one inbound connection: a 4-byte hello naming the
+// sender, then length-prefixed frames.
+func (h *Host) readLoop(conn net.Conn) {
+	defer h.wg.Done()
+	defer conn.Close()
+	go func() { // unblock Read on shutdown
+		<-h.done
+		conn.Close()
+	}()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := ids.ProcessID(binary.BigEndian.Uint32(hello[:]))
+	if !from.Valid(h.cfg.System.N) {
+		h.env.log.Logf(logging.LevelDebug, "transport: hello from invalid process %d", from)
+		return
+	}
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			h.env.log.Logf(logging.LevelDebug, "transport: bad frame length %d from %s", n, from)
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		msg, err := wire.Decode(buf)
+		if err != nil {
+			h.cfg.Metrics.Inc("transport.decode.errors", 1)
+			h.env.log.Logf(logging.LevelDebug, "transport: undecodable frame from %s: %v", from, err)
+			continue
+		}
+		h.cfg.Metrics.Inc("transport.received", 1)
+		select {
+		case h.events <- func() { h.node.Receive(from, msg) }:
+		case <-h.done:
+			return
+		}
+	}
+}
+
+// send queues a frame for a peer, creating the writer on demand.
+func (h *Host) send(to ids.ProcessID, m wire.Message) {
+	if to == h.cfg.Self {
+		// Local delivery through the normal event path.
+		msg := m
+		data := wire.Encode(m)
+		decoded, err := wire.Decode(data)
+		if err == nil {
+			msg = decoded
+		}
+		select {
+		case h.events <- func() { h.node.Receive(h.cfg.Self, msg) }:
+		case <-h.done:
+		}
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	w, ok := h.writers[to]
+	if !ok {
+		w = newPeerWriter(h, to)
+		h.writers[to] = w
+	}
+	h.mu.Unlock()
+	h.cfg.Metrics.Inc("transport.sent", 1)
+	w.enqueue(wire.Encode(m))
+}
+
+// peerAddr resolves a peer's current address.
+func (h *Host) peerAddr(p ids.ProcessID) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.addrs[p]
+	return a, ok
+}
+
+// peerWriter owns the outbound connection to one peer: a queue drained
+// by a single goroutine that dials (and re-dials) as needed.
+type peerWriter struct {
+	h    *Host
+	peer ids.ProcessID
+
+	mu     sync.Mutex
+	queue  [][]byte
+	wake   chan struct{}
+	closed bool
+}
+
+func newPeerWriter(h *Host, peer ids.ProcessID) *peerWriter {
+	w := &peerWriter{h: h, peer: peer, wake: make(chan struct{}, 1)}
+	h.wg.Add(1)
+	go w.run()
+	return w
+}
+
+func (w *peerWriter) enqueue(frame []byte) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.queue = append(w.queue, frame)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *peerWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *peerWriter) run() {
+	defer w.h.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-w.wake:
+		case <-w.h.done:
+			return
+		}
+		for {
+			frame, ok := w.pop()
+			if !ok {
+				break
+			}
+			for {
+				if w.stopped() {
+					return
+				}
+				if conn == nil {
+					conn = w.dial()
+					if conn == nil {
+						select {
+						case <-time.After(dialRetryDelay):
+							continue
+						case <-w.h.done:
+							return
+						}
+					}
+				}
+				var lenBuf [4]byte
+				binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if _, err := conn.Write(lenBuf[:]); err != nil {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				if _, err := conn.Write(frame); err != nil {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				break
+			}
+		}
+	}
+}
+
+func (w *peerWriter) pop() ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.queue) == 0 {
+		return nil, false
+	}
+	frame := w.queue[0]
+	w.queue = w.queue[1:]
+	return frame, true
+}
+
+func (w *peerWriter) stopped() bool {
+	select {
+	case <-w.h.done:
+		return true
+	default:
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// dial opens the connection and sends the hello; nil on failure.
+func (w *peerWriter) dial() net.Conn {
+	addr, ok := w.h.peerAddr(w.peer)
+	if !ok {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		w.h.cfg.Metrics.Inc("transport.dial.errors", 1)
+		return nil
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(w.h.cfg.Self))
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil
+	}
+	return conn
+}
+
+// hostEnv implements runtime.Env over a Host.
+type hostEnv struct {
+	h   *Host
+	rng *rand.Rand
+	log logging.Logger
+}
+
+var _ runtime.Env = (*hostEnv)(nil)
+
+func (e *hostEnv) ID() ids.ProcessID          { return e.h.cfg.Self }
+func (e *hostEnv) Config() ids.Config         { return e.h.cfg.System }
+func (e *hostEnv) Now() time.Duration         { return time.Since(e.h.start) }
+func (e *hostEnv) Rand() *rand.Rand           { return e.rng }
+func (e *hostEnv) Auth() crypto.Authenticator { return e.h.cfg.Auth }
+func (e *hostEnv) Logger() logging.Logger     { return e.log }
+func (e *hostEnv) Metrics() *metrics.Registry { return e.h.cfg.Metrics }
+
+func (e *hostEnv) Send(to ids.ProcessID, m wire.Message) {
+	if !to.Valid(e.h.cfg.System.N) {
+		e.log.Logf(logging.LevelError, "transport: send to %s outside Π", to)
+		return
+	}
+	e.h.send(to, m)
+}
+
+func (e *hostEnv) After(d time.Duration, fn func()) runtime.Timer {
+	t := &hostTimer{}
+	t.timer = time.AfterFunc(d, func() {
+		select {
+		case e.h.events <- func() {
+			t.mu.Lock()
+			if t.stopped {
+				t.mu.Unlock()
+				return
+			}
+			t.ran = true
+			t.mu.Unlock()
+			fn()
+		}:
+		case <-e.h.done:
+		}
+	})
+	return t
+}
+
+// hostTimer adapts time.Timer to runtime.Timer with loop-side
+// cancellation (Stop may race with an already-queued callback; the
+// stopped flag keeps the callback from running in that case).
+type hostTimer struct {
+	mu      sync.Mutex
+	timer   *time.Timer
+	stopped bool
+	ran     bool
+}
+
+// Stop implements runtime.Timer: it reports whether the callback was
+// prevented from running.
+func (t *hostTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || t.ran {
+		return false
+	}
+	t.stopped = true
+	t.timer.Stop()
+	return true
+}

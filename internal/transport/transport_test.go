@@ -1,0 +1,308 @@
+package transport_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/follower"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/transport"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// newQSCluster launches n quorum-selection Hosts on ephemeral localhost
+// ports and wires all addresses.
+func newQSCluster(t *testing.T, n, f int, hb time.Duration) (map[ids.ProcessID]*transport.Host, map[ids.ProcessID]*core.Node) {
+	t.Helper()
+	cfg := ids.MustConfig(n, f)
+	auth := crypto.NewHMACRing(cfg, []byte("cluster-secret"))
+	hosts := make(map[ids.ProcessID]*transport.Host, n)
+	nodes := make(map[ids.ProcessID]*core.Node, n)
+	for _, p := range cfg.All() {
+		opts := core.DefaultNodeOptions()
+		opts.HeartbeatPeriod = hb
+		node := core.NewNode(opts)
+		host, err := transport.NewHost(transport.Config{
+			Self:   p,
+			System: cfg,
+			Auth:   auth,
+			Seed:   int64(p),
+		}, node)
+		if err != nil {
+			t.Fatalf("NewHost(%s): %v", p, err)
+		}
+		hosts[p] = host
+		nodes[p] = node
+	}
+	for _, p := range cfg.All() {
+		for _, q := range cfg.All() {
+			if p != q {
+				hosts[p].SetPeerAddr(q, hosts[q].Addr())
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	})
+	return hosts, nodes
+}
+
+func waitFor(t *testing.T, timeout time.Duration, pred func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return pred()
+}
+
+func TestQuorumSelectionOverTCP(t *testing.T) {
+	hosts, nodes := newQSCluster(t, 4, 1, 0)
+	// Inject a suspicion at p1 (on its event loop) and wait for
+	// agreement on {p1,p3,p4} everywhere.
+	hosts[1].Do(func() {
+		nodes[1].Selector.OnSuspected(ids.NewProcSet(2))
+	})
+	want := ids.NewQuorum([]ids.ProcessID{1, 3, 4})
+	ok := waitFor(t, 5*time.Second, func() bool {
+		for p, n := range nodes {
+			agreed := false
+			hosts[p].Do(func() { agreed = n.CurrentQuorum().Equal(want) })
+			if !agreed {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for p, n := range nodes {
+			var q ids.Quorum
+			hosts[p].Do(func() { q = n.CurrentQuorum() })
+			t.Logf("%s: %s", p, q)
+		}
+		t.Fatal("quorum selection did not converge over TCP")
+	}
+}
+
+func TestXPaxosOverTCP(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	auth := crypto.NewHMACRing(cfg, []byte("cluster-secret"))
+	hosts := make(map[ids.ProcessID]*transport.Host, cfg.N)
+	replicas := make(map[ids.ProcessID]*xpaxos.Replica, cfg.N)
+	for _, p := range cfg.All() {
+		opts := core.DefaultNodeOptions()
+		opts.HeartbeatPeriod = 0
+		node, replica := xpaxos.NewQSNode(xpaxos.Options{}, opts)
+		host, err := transport.NewHost(transport.Config{Self: p, System: cfg, Auth: auth, Seed: int64(p)}, node)
+		if err != nil {
+			t.Fatalf("NewHost(%s): %v", p, err)
+		}
+		hosts[p] = host
+		replicas[p] = replica
+	}
+	for _, p := range cfg.All() {
+		for _, q := range cfg.All() {
+			if p != q {
+				hosts[p].SetPeerAddr(q, hosts[q].Addr())
+			}
+		}
+	}
+	defer func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	}()
+
+	for i := 1; i <= 3; i++ {
+		seq := uint64(i)
+		hosts[1].Do(func() {
+			replicas[1].Submit(&wire.Request{Client: 1, Seq: seq, Op: []byte("set k v")})
+		})
+	}
+	ok := waitFor(t, 5*time.Second, func() bool {
+		for _, p := range []ids.ProcessID{1, 2, 3} {
+			var exec uint64
+			hosts[p].Do(func() { exec = replicas[p].LastExecuted() })
+			if exec < 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("XPaxos over TCP did not execute the requests")
+	}
+}
+
+func TestBadSignatureRejectedOverTCP(t *testing.T) {
+	hosts, nodes := newQSCluster(t, 4, 1, 0)
+	// A forged UPDATE (bad signature) must not corrupt the store.
+	forged := &wire.Update{Owner: 3, Row: []uint64{9, 9, 9, 9}, Sig: []byte("forged")}
+	hosts[2].Do(func() {
+		// Send directly from p2's env path by injecting through the
+		// node's Receive (simulating a hostile frame).
+		nodes[2].Receive(3, forged)
+	})
+	time.Sleep(200 * time.Millisecond)
+	var v uint64
+	hosts[2].Do(func() { v = nodes[2].Store.Value(3, 1) })
+	if v != 0 {
+		t.Errorf("forged update merged: matrix[3][1] = %d", v)
+	}
+}
+
+func TestFollowerSelectionOverTCP(t *testing.T) {
+	// Algorithm 2 (FIFO-dependent: UPDATE before FOLLOWERS) must hold
+	// on real TCP links, which are FIFO per connection.
+	cfg := ids.MustConfig(7, 2)
+	auth := crypto.NewHMACRing(cfg, []byte("cluster-secret"))
+	hosts := make(map[ids.ProcessID]*transport.Host, cfg.N)
+	nodes := make(map[ids.ProcessID]*follower.Node, cfg.N)
+	for _, p := range cfg.All() {
+		opts := follower.DefaultNodeOptions()
+		opts.HeartbeatPeriod = 0
+		node := follower.NewNode(opts)
+		host, err := transport.NewHost(transport.Config{Self: p, System: cfg, Auth: auth, Seed: int64(p)}, node)
+		if err != nil {
+			t.Fatalf("NewHost(%s): %v", p, err)
+		}
+		hosts[p] = host
+		nodes[p] = node
+	}
+	for _, p := range cfg.All() {
+		for _, q := range cfg.All() {
+			if p != q {
+				hosts[p].SetPeerAddr(q, hosts[q].Addr())
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	})
+
+	// p3 suspects the default leader p1: the leader moves to p2 and p2
+	// broadcasts a FOLLOWERS choice everyone installs.
+	hosts[3].Do(func() { nodes[3].Selector.OnSuspected(ids.NewProcSet(1)) })
+	ok := waitFor(t, 10*time.Second, func() bool {
+		for p := range nodes {
+			var leader ids.ProcessID
+			var stable bool
+			hosts[p].Do(func() {
+				leader = nodes[p].Selector.Leader()
+				stable = nodes[p].Selector.Stable()
+			})
+			if leader != 2 || !stable {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for p, n := range nodes {
+			var q ids.Quorum
+			var leader ids.ProcessID
+			hosts[p].Do(func() { q, leader = n.CurrentQuorum(), n.Selector.Leader() })
+			t.Logf("%s: leader=%s quorum=%s", p, leader, q)
+		}
+		t.Fatal("follower selection did not converge over TCP")
+	}
+	// Agreement on the full quorum.
+	var want ids.Quorum
+	hosts[1].Do(func() { want = nodes[1].CurrentQuorum() })
+	for p, n := range nodes {
+		var got ids.Quorum
+		hosts[p].Do(func() { got = n.CurrentQuorum() })
+		if !got.Equal(want) {
+			t.Errorf("%s: quorum %s, want %s", p, got, want)
+		}
+	}
+}
+
+func TestHostCloseIdempotent(t *testing.T) {
+	hosts, _ := newQSCluster(t, 4, 1, 0)
+	if err := hosts[1].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := hosts[1].Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestHostSurvivesHostileFrames(t *testing.T) {
+	// Raw TCP garbage — bad hellos, oversized length prefixes,
+	// undecodable frames — must neither crash the host nor disturb the
+	// protocol.
+	hosts, nodes := newQSCluster(t, 4, 1, 0)
+	addr := hosts[1].Addr()
+
+	send := func(data []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn.Write(data)
+		conn.Close()
+	}
+	// Truncated hello.
+	send([]byte{0x01})
+	// Hello naming an invalid process.
+	send([]byte{0xff, 0xff, 0xff, 0xff})
+	// Valid hello (p2), then an oversized frame length.
+	send([]byte{0, 0, 0, 2, 0xff, 0xff, 0xff, 0xff})
+	// Valid hello, zero-length frame.
+	send([]byte{0, 0, 0, 2, 0, 0, 0, 0})
+	// Valid hello, frame that does not decode.
+	send([]byte{0, 0, 0, 2, 0, 0, 0, 3, 0xEE, 0x01, 0x02})
+
+	// The host keeps working: a genuine suspicion still converges.
+	hosts[1].Do(func() { nodes[1].Selector.OnSuspected(ids.NewProcSet(2)) })
+	want := ids.NewQuorum([]ids.ProcessID{1, 3, 4})
+	ok := waitFor(t, 5*time.Second, func() bool {
+		var agreed bool
+		hosts[3].Do(func() { agreed = nodes[3].CurrentQuorum().Equal(want) })
+		return agreed
+	})
+	if !ok {
+		t.Fatal("host stopped working after hostile frames")
+	}
+}
+
+func TestHeartbeatsOverTCP(t *testing.T) {
+	hosts, nodes := newQSCluster(t, 4, 1, 50*time.Millisecond)
+	// With everyone alive, no suspicions should accumulate.
+	time.Sleep(500 * time.Millisecond)
+	for p, n := range nodes {
+		var sus ids.ProcSet
+		hosts[p].Do(func() { sus = n.Detector.Suspected() })
+		if !sus.Empty() {
+			t.Errorf("%s suspects %s on a healthy TCP cluster", p, sus)
+		}
+	}
+	// Kill p4: the rest must eventually suspect and exclude it.
+	hosts[4].Close()
+	want := ids.NewQuorum([]ids.ProcessID{1, 2, 3})
+	ok := waitFor(t, 10*time.Second, func() bool {
+		for _, p := range []ids.ProcessID{1, 2, 3} {
+			var q ids.Quorum
+			hosts[p].Do(func() { q = nodes[p].CurrentQuorum() })
+			if !q.Equal(want) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("crashed host was not excluded over TCP")
+	}
+}

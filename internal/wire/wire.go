@@ -1,0 +1,404 @@
+// Package wire defines every message exchanged by the protocols in this
+// repository and a canonical binary codec for them.
+//
+// The codec is deliberately hand-rolled rather than gob- or
+// JSON-based: signatures are computed over the canonical encoding, so
+// encoding must be deterministic and stable across processes. All
+// integers are encoded big-endian with fixed width; slices are
+// length-prefixed with uint32.
+//
+// Message kinds:
+//
+//   - Heartbeat: the paper's §II assumption that every process sends
+//     infinitely many messages; the failure detector issues standing
+//     expectations for heartbeats to detect crash and repeated
+//     omission failures.
+//   - Update: the signed suspicion-row broadcast of Algorithm 1.
+//   - Followers: the FOLLOWERS message of Algorithm 2.
+//   - Request/Prepare/Commit/Reply/ViewChange/NewView: XPaxos (§V).
+//   - PrePrepare/PBFTPrepare/PBFTCommit: the PBFT-style broadcast-all
+//     baseline used for the §I message-reduction claim.
+//   - ChainForward/ChainAck: the BChain-style chain baseline.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"quorumselect/internal/ids"
+)
+
+// Type identifies a message kind on the wire.
+type Type uint8
+
+// Message kinds. Values are part of the wire format; do not reorder.
+const (
+	TypeHeartbeat Type = iota + 1
+	TypeUpdate
+	TypeFollowers
+	TypeRequest
+	TypePrepare
+	TypeCommit
+	TypeReply
+	TypeViewChange
+	TypeNewView
+	TypePrePrepare
+	TypePBFTPrepare
+	TypePBFTCommit
+	TypeChainForward
+	TypeChainAck
+	TypeTMProposal
+	TypeTMPrevote
+	TypeTMPrecommit
+	TypeTMDecided
+	TypeCommitCert
+)
+
+// String returns the protocol name of the message type.
+func (t Type) String() string {
+	switch t {
+	case TypeHeartbeat:
+		return "HEARTBEAT"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeFollowers:
+		return "FOLLOWERS"
+	case TypeRequest:
+		return "REQUEST"
+	case TypePrepare:
+		return "PREPARE"
+	case TypeCommit:
+		return "COMMIT"
+	case TypeReply:
+		return "REPLY"
+	case TypeViewChange:
+		return "VIEW-CHANGE"
+	case TypeNewView:
+		return "NEW-VIEW"
+	case TypePrePrepare:
+		return "PRE-PREPARE"
+	case TypePBFTPrepare:
+		return "PBFT-PREPARE"
+	case TypePBFTCommit:
+		return "PBFT-COMMIT"
+	case TypeChainForward:
+		return "CHAIN-FORWARD"
+	case TypeChainAck:
+		return "CHAIN-ACK"
+	case TypeTMProposal:
+		return "TM-PROPOSAL"
+	case TypeTMPrevote:
+		return "TM-PREVOTE"
+	case TypeTMPrecommit:
+		return "TM-PRECOMMIT"
+	case TypeTMDecided:
+		return "TM-DECIDED"
+	case TypeCommitCert:
+		return "COMMIT-CERT"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Kind returns the message's wire type.
+	Kind() Type
+	// encodeBody appends the canonical encoding of all fields
+	// (including any signature) to b.
+	encodeBody(b *Buffer)
+	// decodeBody parses the canonical encoding from b.
+	decodeBody(b *Reader) error
+}
+
+// Signed is implemented by messages that carry a content signature
+// (as opposed to link-level authentication).
+type Signed interface {
+	Message
+	// Signer returns the process whose key must verify the signature.
+	Signer() ids.ProcessID
+	// SigBytes returns the canonical bytes covered by the signature.
+	SigBytes() []byte
+	// Signature returns the attached signature.
+	Signature() []byte
+	// SetSignature attaches a signature.
+	SetSignature(sig []byte)
+}
+
+// ErrTruncated is returned when a decode runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrUnknownType is returned when a decode meets an unknown type tag.
+var ErrUnknownType = errors.New("wire: unknown message type")
+
+// maxSliceLen bounds decoded slice lengths to keep a malicious peer
+// from forcing huge allocations.
+const maxSliceLen = 1 << 20
+
+// Encode renders m as canonical bytes: a one-byte type tag followed by
+// the body encoding.
+func Encode(m Message) []byte {
+	var b Buffer
+	b.PutUint8(uint8(m.Kind()))
+	m.encodeBody(&b)
+	return b.Bytes()
+}
+
+// Decode parses canonical bytes into a fresh message value.
+func Decode(data []byte) (Message, error) {
+	r := NewReader(data)
+	tag, err := r.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	m := newMessage(Type(tag))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, tag)
+	}
+	if err := m.decodeBody(r); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s", r.Remaining(), m.Kind())
+	}
+	return m, nil
+}
+
+func newMessage(t Type) Message {
+	switch t {
+	case TypeHeartbeat:
+		return &Heartbeat{}
+	case TypeUpdate:
+		return &Update{}
+	case TypeFollowers:
+		return &Followers{}
+	case TypeRequest:
+		return &Request{}
+	case TypePrepare:
+		return &Prepare{}
+	case TypeCommit:
+		return &Commit{}
+	case TypeReply:
+		return &Reply{}
+	case TypeViewChange:
+		return &ViewChange{}
+	case TypeNewView:
+		return &NewView{}
+	case TypePrePrepare:
+		return &PrePrepare{}
+	case TypePBFTPrepare:
+		return &PBFTPrepare{}
+	case TypePBFTCommit:
+		return &PBFTCommit{}
+	case TypeChainForward:
+		return &ChainForward{}
+	case TypeChainAck:
+		return &ChainAck{}
+	case TypeTMProposal:
+		return &TMProposal{}
+	case TypeTMPrevote:
+		return &TMPrevote{}
+	case TypeTMPrecommit:
+		return &TMPrecommit{}
+	case TypeTMDecided:
+		return &TMDecided{}
+	case TypeCommitCert:
+		return &CommitCert{}
+	default:
+		return nil
+	}
+}
+
+// Buffer is an append-only canonical encoder.
+type Buffer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (b *Buffer) Bytes() []byte { return b.buf }
+
+// PutUint8 appends a single byte.
+func (b *Buffer) PutUint8(v uint8) { b.buf = append(b.buf, v) }
+
+// PutUint32 appends a big-endian uint32.
+func (b *Buffer) PutUint32(v uint32) {
+	b.buf = binary.BigEndian.AppendUint32(b.buf, v)
+}
+
+// PutUint64 appends a big-endian uint64.
+func (b *Buffer) PutUint64(v uint64) {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+}
+
+// PutBool appends a boolean as one byte.
+func (b *Buffer) PutBool(v bool) {
+	if v {
+		b.PutUint8(1)
+	} else {
+		b.PutUint8(0)
+	}
+}
+
+// PutProc appends a process identifier.
+func (b *Buffer) PutProc(p ids.ProcessID) { b.PutUint32(uint32(p)) }
+
+// PutBytes appends a length-prefixed byte slice.
+func (b *Buffer) PutBytes(v []byte) {
+	b.PutUint32(uint32(len(v)))
+	b.buf = append(b.buf, v...)
+}
+
+// PutProcs appends a length-prefixed slice of process identifiers.
+func (b *Buffer) PutProcs(ps []ids.ProcessID) {
+	b.PutUint32(uint32(len(ps)))
+	for _, p := range ps {
+		b.PutProc(p)
+	}
+}
+
+// PutUint64s appends a length-prefixed slice of uint64.
+func (b *Buffer) PutUint64s(vs []uint64) {
+	b.PutUint32(uint32(len(vs)))
+	for _, v := range vs {
+		b.PutUint64(v)
+	}
+}
+
+// Reader decodes canonical bytes with bounds checking.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) ([]byte, error) {
+	if n < 0 || r.Remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Bool reads a boolean byte, rejecting values other than 0 and 1.
+func (r *Reader) Bool() (bool, error) {
+	v, err := r.Uint8()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("wire: invalid bool byte %d", v)
+	}
+}
+
+// Tag reads the inner type tag of a signed body and rejects anything
+// but want: accepting non-canonical encodings would let one message
+// re-encode differently than it arrived.
+func (r *Reader) Tag(want Type) error {
+	v, err := r.Uint8()
+	if err != nil {
+		return err
+	}
+	if Type(v) != want {
+		return fmt.Errorf("wire: inner tag %d, want %s", v, want)
+	}
+	return nil
+}
+
+// Proc reads a process identifier.
+func (r *Reader) Proc() (ids.ProcessID, error) {
+	v, err := r.Uint32()
+	return ids.ProcessID(v), err
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, fmt.Errorf("wire: slice length %d exceeds limit", n)
+	}
+	raw, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, raw)
+	return out, nil
+}
+
+// Procs reads a length-prefixed slice of process identifiers.
+func (r *Reader) Procs() ([]ids.ProcessID, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, fmt.Errorf("wire: slice length %d exceeds limit", n)
+	}
+	out := make([]ids.ProcessID, n)
+	for i := range out {
+		if out[i], err = r.Proc(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Uint64s reads a length-prefixed slice of uint64.
+func (r *Reader) Uint64s() ([]uint64, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, fmt.Errorf("wire: slice length %d exceeds limit", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = r.Uint64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package xpaxos
+
+import (
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// NewQSNode composes an XPaxos replica with the full quorum-selection
+// stack of Figure 1 (failure detector, suspicion store, Algorithm 1
+// selector). The returned node and replica run in ModeQuorumSelection.
+func NewQSNode(opts Options, nodeOpts core.NodeOptions) (*core.Node, *Replica) {
+	opts.Mode = ModeQuorumSelection
+	r := NewReplica(opts)
+	nodeOpts.App = r
+	return core.NewNode(nodeOpts), r
+}
+
+// StandaloneOptions configures an enumeration-baseline node.
+type StandaloneOptions struct {
+	// FD configures the failure detector.
+	FD fd.Options
+	// HeartbeatPeriod enables heartbeat traffic when positive.
+	HeartbeatPeriod time.Duration
+	// Replica configures the XPaxos replica (Mode is forced to
+	// ModeEnumeration).
+	Replica Options
+}
+
+// DefaultStandaloneOptions mirrors core.DefaultNodeOptions.
+func DefaultStandaloneOptions() StandaloneOptions {
+	return StandaloneOptions{
+		FD:              fd.DefaultOptions(),
+		HeartbeatPeriod: 25 * time.Millisecond,
+	}
+}
+
+// StandaloneNode runs an XPaxos replica in the original quorum-change
+// regime (ModeEnumeration): network → failure detector → replica, with
+// no quorum-selection module. FD suspicions feed the replica directly
+// and trigger next-quorum view changes.
+type StandaloneNode struct {
+	opts StandaloneOptions
+
+	env      runtime.Env
+	Detector *fd.Detector
+	Replica  *Replica
+	HB       *fd.Heartbeater
+}
+
+var _ runtime.Node = (*StandaloneNode)(nil)
+
+// NewStandaloneNode creates an unstarted enumeration-baseline node.
+func NewStandaloneNode(opts StandaloneOptions) *StandaloneNode {
+	opts.Replica.Mode = ModeEnumeration
+	return &StandaloneNode{opts: opts, Replica: NewReplica(opts.Replica)}
+}
+
+// Init implements runtime.Node.
+func (n *StandaloneNode) Init(env runtime.Env) {
+	n.env = env
+	n.Detector = fd.New(n.opts.FD)
+	n.Detector.Bind(env,
+		func(from ids.ProcessID, m wire.Message) {
+			if fd.IsHeartbeat(m) {
+				return
+			}
+			n.Replica.Deliver(from, m)
+		},
+		n.Replica.OnSuspected,
+	)
+	n.Replica.Attach(env, n.Detector)
+	if n.opts.HeartbeatPeriod > 0 {
+		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
+		n.HB.Start(env)
+	}
+}
+
+// Receive implements runtime.Node.
+func (n *StandaloneNode) Receive(from ids.ProcessID, m wire.Message) {
+	n.Detector.Receive(from, m)
+}

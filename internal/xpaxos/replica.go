@@ -1,0 +1,583 @@
+package xpaxos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// Scope tags XPaxos's expectations in the failure detector.
+const Scope = "xpaxos"
+
+// Mode selects the quorum-change regime.
+type Mode int
+
+// Modes. See the package comment.
+const (
+	// ModeQuorumSelection installs quorums issued by the paper's
+	// selection module (§V-B).
+	ModeQuorumSelection Mode = iota + 1
+	// ModeEnumeration is the original XPaxos baseline: on suspicion of
+	// an active-quorum member, move to the next quorum in the
+	// lexicographic enumeration, round-robin.
+	ModeEnumeration
+)
+
+// Options configures a Replica.
+type Options struct {
+	// Mode selects the quorum-change regime (default
+	// ModeQuorumSelection).
+	Mode Mode
+	// SM is the replicated state machine (default KVMachine).
+	SM StateMachine
+	// OnExecute observes executions in slot order; the sim harness uses
+	// it in place of a remote client.
+	OnExecute func(Execution)
+	// CheckpointInterval takes a stable checkpoint (and garbage-collects
+	// the log below it) every this many executed slots. Requires a
+	// state machine implementing Snapshotter; 0 disables checkpointing
+	// and the log grows without bound.
+	CheckpointInterval uint64
+}
+
+// checkpoint is a stable checkpoint: the replica's state after
+// executing all slots up to and including Slot.
+type checkpoint struct {
+	Slot     uint64
+	Snapshot []byte
+	Digest   []byte
+}
+
+// entry is the per-slot round state of the current view.
+type entry struct {
+	prep       *wire.Prepare // prepare accepted in the current view
+	adopted    bool          // prep was learned from a COMMIT (Fig 3)
+	commits    map[ids.ProcessID]*wire.Commit
+	commitSent bool
+	committed  bool
+}
+
+// Replica is one XPaxos replica. It implements core.Application so it
+// can be composed with the quorum-selection stack, and is also driven
+// directly by StandaloneNode in enumeration mode.
+type Replica struct {
+	opts     Options
+	env      runtime.Env
+	detector *fd.Detector
+	cfg      ids.Config
+	log      logging.Logger
+
+	enumeration []ids.Quorum
+	view        uint64
+	active      ids.Quorum
+	changing    bool
+
+	nextSlot uint64
+	entries  map[uint64]*entry
+	// accepted holds the highest-view prepare per slot across views —
+	// the log reported in VIEW-CHANGE messages.
+	accepted map[uint64]*wire.Prepare
+	// committedReq holds requests whose slot committed, for execution.
+	committedReq map[uint64]*wire.Request
+	lastExec     uint64
+	clientTable  map[uint64]uint64 // client → highest executed seq
+
+	vcVotes map[uint64]map[ids.ProcessID]*wire.ViewChange
+	pending []*wire.Request
+	// buffered holds PREPARE/COMMIT messages for the view currently
+	// being installed: a peer that finished its view change earlier may
+	// send them before our NEW-VIEW arrives; they are replayed at
+	// install instead of being lost (messages are never retransmitted).
+	buffered []wire.Message
+
+	executions  []Execution
+	viewChanges int
+	ckpt        checkpoint
+}
+
+// NewReplica creates an XPaxos replica.
+func NewReplica(opts Options) *Replica {
+	if opts.Mode == 0 {
+		opts.Mode = ModeQuorumSelection
+	}
+	if opts.SM == nil {
+		opts.SM = NewKVMachine()
+	}
+	return &Replica{
+		opts:         opts,
+		entries:      make(map[uint64]*entry),
+		accepted:     make(map[uint64]*wire.Prepare),
+		committedReq: make(map[uint64]*wire.Request),
+		clientTable:  make(map[uint64]uint64),
+		vcVotes:      make(map[uint64]map[ids.ProcessID]*wire.ViewChange),
+	}
+}
+
+// Attach implements core.Application.
+func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
+	r.env = env
+	r.detector = detector
+	r.cfg = env.Config()
+	r.log = env.Logger()
+	r.enumeration = ids.EnumerateQuorums(r.cfg.N, r.cfg.Q())
+	r.view = 0
+	r.active = r.enumeration[0]
+	r.nextSlot = 1
+}
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// ActiveQuorum returns the current active quorum.
+func (r *Replica) ActiveQuorum() ids.Quorum { return r.active }
+
+// Leader returns the leader of the current view: the active-quorum
+// member with the lowest identifier (§V-A step 1).
+func (r *Replica) Leader() ids.ProcessID { return r.active.Members[0] }
+
+// IsLeader reports whether this replica leads the current view.
+func (r *Replica) IsLeader() bool { return r.Leader() == r.env.ID() }
+
+// InQuorum reports whether this replica is in the active quorum.
+func (r *Replica) InQuorum() bool { return r.active.Contains(r.env.ID()) }
+
+// ViewChanges returns how many view changes this replica performed.
+func (r *Replica) ViewChanges() int { return r.viewChanges }
+
+// LastExecuted returns the highest executed slot.
+func (r *Replica) LastExecuted() uint64 { return r.lastExec }
+
+// Executions returns the executions observed so far, in order.
+func (r *Replica) Executions() []Execution {
+	out := make([]Execution, len(r.executions))
+	copy(out, r.executions)
+	return out
+}
+
+// quorumAt maps a view number to its quorum: the lexicographic
+// enumeration, round-robin (§V-B).
+func (r *Replica) quorumAt(v uint64) ids.Quorum {
+	return r.enumeration[int(v%uint64(len(r.enumeration)))]
+}
+
+// Submit injects a client request at this replica (the harness's or
+// server frontend's entry point). Non-leaders forward to the leader.
+func (r *Replica) Submit(req *wire.Request) {
+	if r.clientTable[req.Client] >= req.Seq {
+		return // already executed; a real deployment would re-reply
+	}
+	if !r.IsLeader() {
+		r.env.Send(r.Leader(), req)
+		return
+	}
+	if r.changing {
+		r.pending = append(r.pending, req)
+		return
+	}
+	r.propose(req)
+}
+
+// propose assigns the next slot and runs step 1 of the normal case.
+func (r *Replica) propose(req *wire.Request) {
+	slot := r.nextSlot
+	r.nextSlot++
+	prep := &wire.Prepare{
+		Leader: r.env.ID(),
+		View:   r.view,
+		Slot:   slot,
+		Req:    *req,
+	}
+	runtime.Sign(r.env, prep)
+	r.env.Metrics().Inc("xpaxos.prepare.sent", 1)
+	for _, p := range r.active.Members {
+		if p != r.env.ID() {
+			r.env.Send(p, prep)
+		}
+	}
+	// The leader "receives" its own PREPARE: accept it, issue the
+	// commit expectations, and send its COMMIT (§V-A: expectations are
+	// issued when receiving or *sending* a PREPARE).
+	r.acceptPrepare(prep)
+}
+
+// Deliver implements core.Application: demultiplex authenticated
+// application messages.
+func (r *Replica) Deliver(from ids.ProcessID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.Request:
+		// Forwarded client request; only the leader proposes.
+		if r.IsLeader() {
+			r.Submit(msg)
+		}
+	case *wire.Prepare:
+		r.onPrepare(msg)
+	case *wire.Commit:
+		r.onCommit(msg)
+	case *wire.CommitCert:
+		r.onCommitCert(msg)
+	case *wire.ViewChange:
+		r.onViewChange(msg)
+	case *wire.NewView:
+		r.onNewView(msg)
+	default:
+		r.log.Logf(logging.LevelDebug, "xpaxos: ignoring %s from %s", m.Kind(), from)
+	}
+}
+
+// onPrepare is step 2 of the normal case plus the equivocation check.
+func (r *Replica) onPrepare(p *wire.Prepare) {
+	if p.View == r.view && r.changing {
+		r.buffered = append(r.buffered, p)
+		return // replayed once the view is installed
+	}
+	if p.View != r.view || r.changing || !r.InQuorum() {
+		return // stale view or not participating
+	}
+	if p.Leader != r.Leader() {
+		// Signed PREPARE from a non-leader quorum member: a commission
+		// failure by the signer.
+		r.detector.Detected(p.Leader)
+		return
+	}
+	e := r.entry(p.Slot)
+	if e.prep != nil && !e.adopted {
+		// A second direct PREPARE for the same (view, slot): detect
+		// equivocation if it differs.
+		if !bytes.Equal(e.prep.SigBytes(), p.SigBytes()) {
+			r.env.Metrics().Inc("xpaxos.detected.equivocation", 1)
+			r.detector.Detected(p.Leader)
+		}
+		return
+	}
+	if e.prep != nil && e.adopted {
+		// Fig 3: the prepare adopted from an early COMMIT must match
+		// the leader's direct PREPARE.
+		if !bytes.Equal(e.prep.SigBytes(), p.SigBytes()) {
+			r.env.Metrics().Inc("xpaxos.detected.equivocation", 1)
+			r.detector.Detected(p.Leader)
+			return
+		}
+		e.adopted = false // direct prepare received; expectation matched
+		return
+	}
+	r.acceptPrepare(p)
+}
+
+// acceptPrepare stores the prepare, issues the §V-A expectations and
+// sends this replica's COMMIT.
+func (r *Replica) acceptPrepare(p *wire.Prepare) {
+	e := r.entry(p.Slot)
+	e.prep = p
+	e.adopted = false
+	r.accepted[p.Slot] = p
+	// First subtlety (§V-A): no expectation for processes whose COMMIT
+	// already arrived.
+	for _, k := range r.active.Members {
+		if _, have := e.commits[k]; k == r.env.ID() || have {
+			continue
+		}
+		r.expectCommit(k, p.View, p.Slot)
+	}
+	r.sendCommit(e, p)
+	r.tryCommit(p.Slot, e)
+}
+
+func (r *Replica) expectCommit(k ids.ProcessID, view, slot uint64) {
+	r.detector.Expect(Scope, k, fmt.Sprintf("COMMIT(v=%d,s=%d)", view, slot),
+		func(m wire.Message) bool {
+			c, ok := m.(*wire.Commit)
+			return ok && c.Replica == k && c.View == view && c.Slot == slot
+		})
+}
+
+func (r *Replica) expectPrepare(leader ids.ProcessID, view, slot uint64) {
+	r.detector.Expect(Scope, leader, fmt.Sprintf("PREPARE(v=%d,s=%d)", view, slot),
+		func(m wire.Message) bool {
+			p, ok := m.(*wire.Prepare)
+			return ok && p.Leader == leader && p.View == view && p.Slot == slot
+		})
+}
+
+// sendCommit broadcasts this replica's COMMIT (carrying the full
+// PREPARE, the paper's second protocol change) to the other quorum
+// members.
+func (r *Replica) sendCommit(e *entry, p *wire.Prepare) {
+	if e.commitSent {
+		return
+	}
+	e.commitSent = true
+	c := &wire.Commit{
+		Replica: r.env.ID(),
+		View:    p.View,
+		Slot:    p.Slot,
+		HasPrep: true,
+		Prep:    *p,
+	}
+	runtime.Sign(r.env, c)
+	e.commits[r.env.ID()] = c
+	r.env.Metrics().Inc("xpaxos.commit.sent", 1)
+	for _, k := range r.active.Members {
+		if k != r.env.ID() {
+			r.env.Send(k, c)
+		}
+	}
+}
+
+// onCommit is step 3 of the normal case plus the §V-A subtleties.
+func (r *Replica) onCommit(c *wire.Commit) {
+	if c.View == r.view && r.changing {
+		r.buffered = append(r.buffered, c)
+		return // replayed once the view is installed
+	}
+	if c.View != r.view || r.changing || !r.InQuorum() {
+		return
+	}
+	if !r.active.Contains(c.Replica) {
+		return // commits count only from active-quorum members
+	}
+	// Second subtlety: a COMMIT must include a valid PREPARE. The
+	// outer signature was verified by the failure detector; the
+	// embedded prepare is verified here.
+	if !c.HasPrep || c.Prep.View != c.View || c.Prep.Slot != c.Slot ||
+		c.Prep.Leader != r.Leader() ||
+		runtime.Verify(r.env, &c.Prep) != nil {
+		r.env.Metrics().Inc("xpaxos.detected.malformed", 1)
+		r.detector.Detected(c.Replica)
+		return
+	}
+	e := r.entry(c.Slot)
+	if e.prep != nil {
+		// Equivocation: a valid PREPARE that differs from ours.
+		if !bytes.Equal(e.prep.SigBytes(), c.Prep.SigBytes()) {
+			r.env.Metrics().Inc("xpaxos.detected.equivocation", 1)
+			r.detector.Detected(r.Leader())
+			return
+		}
+	} else {
+		// Third subtlety (Fig 3): COMMIT before PREPARE — adopt the
+		// embedded prepare, send our own COMMIT, and expect the direct
+		// PREPARE from the leader.
+		prep := c.Prep
+		e.prep = &prep
+		e.adopted = true
+		r.accepted[c.Slot] = &prep
+		r.expectPrepare(r.Leader(), c.View, c.Slot)
+		r.sendCommit(e, &prep)
+	}
+	e.commits[c.Replica] = c
+	r.tryCommit(c.Slot, e)
+}
+
+// tryCommit commits the slot once COMMITs from every other quorum
+// member arrived with matching prepares, then executes in slot order.
+func (r *Replica) tryCommit(slot uint64, e *entry) {
+	if e.committed || e.prep == nil || !e.commitSent {
+		return
+	}
+	for _, k := range r.active.Members {
+		if _, ok := e.commits[k]; !ok {
+			return
+		}
+	}
+	e.committed = true
+	req := e.prep.Req
+	r.committedReq[slot] = &req
+	r.env.Metrics().Inc("xpaxos.committed", 1)
+	// Lazy replication (XPaxos keeps passive replicas "lazily
+	// updated"): the leader ships the self-certifying commit
+	// certificate to the processes outside the active quorum.
+	if r.IsLeader() {
+		cert := &wire.CommitCert{Slot: slot}
+		for _, k := range r.active.Members {
+			cert.Commits = append(cert.Commits, *e.commits[k])
+		}
+		for _, p := range r.cfg.All() {
+			if !r.active.Contains(p) {
+				r.env.Send(p, cert)
+			}
+		}
+	}
+	r.execute()
+}
+
+// onCommitCert verifies a lazy-replication certificate and adopts the
+// committed request: n−f distinct validly signed COMMITs embedding the
+// same valid PREPARE for this slot. At least one signer is correct and
+// committed the slot, so the value is the decided one.
+func (r *Replica) onCommitCert(cert *wire.CommitCert) {
+	if _, have := r.committedReq[cert.Slot]; have || cert.Slot <= r.lastExec {
+		return
+	}
+	signers := ids.NewProcSet()
+	var prep *wire.Prepare
+	for i := range cert.Commits {
+		c := &cert.Commits[i]
+		if c.Slot != cert.Slot || !c.HasPrep || c.Prep.Slot != cert.Slot || c.Prep.View != c.View {
+			continue
+		}
+		if !c.Replica.Valid(r.cfg.N) || signers.Contains(c.Replica) {
+			continue
+		}
+		if runtime.Verify(r.env, c) != nil || runtime.Verify(r.env, &c.Prep) != nil {
+			continue
+		}
+		if prep == nil {
+			p := c.Prep
+			prep = &p
+		} else if !bytes.Equal(prep.SigBytes(), c.Prep.SigBytes()) {
+			continue // conflicting embedded prepare: not part of this cert
+		}
+		signers.Add(c.Replica)
+	}
+	if prep == nil || signers.Len() < r.cfg.Q() {
+		r.env.Metrics().Inc("xpaxos.cert.rejected", 1)
+		r.log.Logf(logging.LevelDebug, "xpaxos: rejecting commit certificate for slot %d", cert.Slot)
+		return
+	}
+	req := prep.Req
+	r.committedReq[cert.Slot] = &req
+	if cur, ok := r.accepted[cert.Slot]; !ok || prep.View >= cur.View {
+		r.accepted[cert.Slot] = prep
+	}
+	r.env.Metrics().Inc("xpaxos.cert.applied", 1)
+	r.execute()
+}
+
+// execute applies committed requests in slot order and takes periodic
+// checkpoints.
+func (r *Replica) execute() {
+	for {
+		req, ok := r.committedReq[r.lastExec+1]
+		if !ok {
+			return
+		}
+		r.lastExec++
+		result := r.opts.SM.Apply(req.Op)
+		if req.Seq > r.clientTable[req.Client] {
+			r.clientTable[req.Client] = req.Seq
+		}
+		exec := Execution{
+			Slot:   r.lastExec,
+			Client: req.Client,
+			Seq:    req.Seq,
+			Op:     append([]byte(nil), req.Op...),
+			Result: result,
+		}
+		r.executions = append(r.executions, exec)
+		r.env.Metrics().Inc("xpaxos.executed", 1)
+		if r.opts.OnExecute != nil {
+			r.opts.OnExecute(exec)
+		}
+		if r.opts.CheckpointInterval > 0 && r.lastExec%r.opts.CheckpointInterval == 0 {
+			r.takeCheckpoint()
+		}
+	}
+}
+
+// takeCheckpoint snapshots the executed state (state machine plus the
+// client table, so duplicate suppression survives a restore) and
+// garbage-collects the log below it. Requires a Snapshotter state
+// machine; silently skipped otherwise.
+func (r *Replica) takeCheckpoint() {
+	snap, ok := r.opts.SM.(Snapshotter)
+	if !ok {
+		return
+	}
+	var b wire.Buffer
+	clients := make([]uint64, 0, len(r.clientTable))
+	for c := range r.clientTable {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	b.PutUint32(uint32(len(clients)))
+	for _, c := range clients {
+		b.PutUint64(c)
+		b.PutUint64(r.clientTable[c])
+	}
+	b.PutBytes(snap.Snapshot())
+	data := b.Bytes()
+	r.ckpt = checkpoint{Slot: r.lastExec, Snapshot: data, Digest: crypto.Digest(data)}
+	r.env.Metrics().Inc("xpaxos.checkpoint.taken", 1)
+	r.gcBelow(r.lastExec)
+}
+
+// restoreCheckpoint installs a stable checkpoint received during a view
+// change: state machine, client table and execution cursor.
+func (r *Replica) restoreCheckpoint(slot uint64, data []byte) error {
+	snap, ok := r.opts.SM.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("xpaxos: state machine %T cannot restore snapshots", r.opts.SM)
+	}
+	rd := wire.NewReader(data)
+	n, err := rd.Uint32()
+	if err != nil {
+		return fmt.Errorf("xpaxos: corrupt checkpoint: %w", err)
+	}
+	table := make(map[uint64]uint64, n)
+	for i := uint32(0); i < n; i++ {
+		c, err := rd.Uint64()
+		if err != nil {
+			return fmt.Errorf("xpaxos: corrupt checkpoint client: %w", err)
+		}
+		seq, err := rd.Uint64()
+		if err != nil {
+			return fmt.Errorf("xpaxos: corrupt checkpoint seq: %w", err)
+		}
+		table[c] = seq
+	}
+	smData, err := rd.Bytes()
+	if err != nil {
+		return fmt.Errorf("xpaxos: corrupt checkpoint snapshot: %w", err)
+	}
+	if err := snap.Restore(smData); err != nil {
+		return err
+	}
+	r.clientTable = table
+	r.lastExec = slot
+	r.ckpt = checkpoint{Slot: slot, Snapshot: data, Digest: crypto.Digest(data)}
+	r.env.Metrics().Inc("xpaxos.checkpoint.restored", 1)
+	r.gcBelow(slot)
+	return nil
+}
+
+// gcBelow drops per-slot state at or below the stable checkpoint.
+func (r *Replica) gcBelow(slot uint64) {
+	for s := range r.accepted {
+		if s <= slot {
+			delete(r.accepted, s)
+		}
+	}
+	for s := range r.committedReq {
+		if s <= slot {
+			delete(r.committedReq, s)
+		}
+	}
+	for s, e := range r.entries {
+		if s <= slot && e.committed {
+			delete(r.entries, s)
+		}
+	}
+}
+
+// LogSize reports the retained per-slot state (accepted prepares), for
+// tests asserting that checkpointing bounds memory.
+func (r *Replica) LogSize() int { return len(r.accepted) }
+
+// CheckpointSlot returns the latest stable checkpoint slot (0 if none).
+func (r *Replica) CheckpointSlot() uint64 { return r.ckpt.Slot }
+
+func (r *Replica) entry(slot uint64) *entry {
+	e, ok := r.entries[slot]
+	if !ok {
+		e = &entry{commits: make(map[ids.ProcessID]*wire.Commit)}
+		r.entries[slot] = e
+	}
+	return e
+}

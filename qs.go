@@ -1,0 +1,336 @@
+package quorumselect
+
+import (
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/follower"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/tendermint"
+	"quorumselect/internal/transport"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// Core identity and quorum types (see internal/ids).
+type (
+	// ProcessID identifies a process in Π (1-based, paper notation).
+	ProcessID = ids.ProcessID
+	// Config holds the replication parameters n and f (q = n−f).
+	Config = ids.Config
+	// ProcSet is a set of processes.
+	ProcSet = ids.ProcSet
+	// Quorum is a selected quorum, optionally with a designated leader.
+	Quorum = ids.Quorum
+)
+
+// Module types re-exported for composition (see the internal packages
+// for full documentation).
+type (
+	// Detector is the expectation-driven Byzantine failure detector
+	// (§IV-B).
+	Detector = fd.Detector
+	// DetectorOptions tunes the failure detector.
+	DetectorOptions = fd.Options
+	// Store is the eventually-consistent suspicion matrix (§VI-A).
+	Store = suspicion.Store
+	// Selector is Algorithm 1's quorum-selection state machine.
+	Selector = core.Selector
+	// FollowerSelector is Algorithm 2's follower-selection state
+	// machine (§VIII).
+	FollowerSelector = follower.Selector
+	// Node is a fully composed Quorum Selection process (Fig 1).
+	Node = core.Node
+	// NodeOptions configures a composed process.
+	NodeOptions = core.NodeOptions
+	// FollowerNode is a fully composed Follower Selection process.
+	FollowerNode = follower.Node
+	// FollowerNodeOptions configures a follower-selection process.
+	FollowerNodeOptions = follower.NodeOptions
+	// Application is the interface replicated services implement to
+	// sit on top of selection (XPaxos implements it).
+	Application = core.Application
+	// XPaxosReplica is an XPaxos state-machine-replication replica
+	// with the §V failure-detector integration.
+	XPaxosReplica = xpaxos.Replica
+	// Authenticator signs and verifies protocol messages.
+	Authenticator = crypto.Authenticator
+	// Message is a protocol wire message.
+	Message = wire.Message
+	// Request is a client operation for the replicated state machine.
+	Request = wire.Request
+	// XPaxosOptions configures an XPaxos replica.
+	XPaxosOptions = xpaxos.Options
+	// StateMachine is the deterministic replicated application.
+	StateMachine = xpaxos.StateMachine
+	// KVMachine is a ready-made key-value state machine.
+	KVMachine = xpaxos.KVMachine
+	// Execution records one executed request.
+	Execution = xpaxos.Execution
+	// Env is the execution environment protocol nodes run against.
+	Env = runtime.Env
+	// RuntimeNode is the interface the simulator and TCP transport
+	// drive.
+	RuntimeNode = runtime.Node
+	// Logger is the leveled logger protocol code writes to.
+	Logger = logging.Logger
+	// Registry collects counters for experiments.
+	Registry = metrics.Registry
+)
+
+// NewConfig validates and returns a system configuration; it enforces
+// the paper's n − f > f assumption.
+func NewConfig(n, f int) (Config, error) { return ids.NewConfig(n, f) }
+
+// MustConfig is NewConfig panicking on error.
+func MustConfig(n, f int) Config { return ids.MustConfig(n, f) }
+
+// NewProcSet builds a process set.
+func NewProcSet(ps ...ProcessID) ProcSet { return ids.NewProcSet(ps...) }
+
+// NewQuorum builds a quorum from members.
+func NewQuorum(members []ProcessID) Quorum { return ids.NewQuorum(members) }
+
+// DefaultNodeOptions returns the standard Quorum Selection composition:
+// adaptive failure detection, update forwarding, 25ms heartbeats.
+func DefaultNodeOptions() NodeOptions { return core.DefaultNodeOptions() }
+
+// NewNode creates a composed Quorum Selection process (Algorithm 1).
+func NewNode(opts NodeOptions) *Node { return core.NewNode(opts) }
+
+// DefaultFollowerNodeOptions returns the standard Follower Selection
+// composition.
+func DefaultFollowerNodeOptions() FollowerNodeOptions { return follower.DefaultNodeOptions() }
+
+// NewFollowerNode creates a composed Follower Selection process
+// (Algorithm 2); the configuration must satisfy n > 3f.
+func NewFollowerNode(opts FollowerNodeOptions) *FollowerNode { return follower.NewNode(opts) }
+
+// NewXPaxosNode creates an XPaxos replica composed with the full
+// quorum-selection stack. The returned node runs on the simulator or a
+// TCP host; the replica is the application handle (Submit, Executions).
+func NewXPaxosNode(opts XPaxosOptions, nodeOpts NodeOptions) (*Node, *XPaxosReplica) {
+	return xpaxos.NewQSNode(opts, nodeOpts)
+}
+
+// NewKVMachine returns an empty key-value state machine.
+func NewKVMachine() *KVMachine { return xpaxos.NewKVMachine() }
+
+// Tendermint-style consensus (the §X future-work integration).
+type (
+	// ConsensusReplica is the round-based, proposer-rotating BFT
+	// engine integrated with quorum selection.
+	ConsensusReplica = tendermint.Replica
+	// ConsensusOptions configures a ConsensusReplica.
+	ConsensusOptions = tendermint.Options
+)
+
+// NewConsensusNode composes a Tendermint-style consensus replica with
+// the full quorum-selection stack.
+func NewConsensusNode(opts ConsensusOptions, nodeOpts NodeOptions) (*Node, *ConsensusReplica) {
+	return tendermint.NewQSNode(opts, nodeOpts)
+}
+
+// ClusterOptions configures a simulated cluster.
+type ClusterOptions struct {
+	// Node configures every process; zero value means
+	// DefaultNodeOptions.
+	Node *NodeOptions
+	// Seed drives all simulation randomness.
+	Seed int64
+	// LatencyMin/LatencyMax bound the per-message link latency; both
+	// zero selects the simulator default (10ms constant).
+	LatencyMin, LatencyMax time.Duration
+}
+
+// Cluster is a simulated Quorum Selection deployment: one composed Node
+// per process on a deterministic discrete-event network.
+type Cluster struct {
+	net   *sim.Network
+	nodes map[ProcessID]*Node
+}
+
+// NewSimulatedCluster builds and initializes a simulated cluster.
+func NewSimulatedCluster(cfg Config, opts ClusterOptions) *Cluster {
+	nodeOpts := DefaultNodeOptions()
+	if opts.Node != nil {
+		nodeOpts = *opts.Node
+	}
+	var latency sim.LatencyModel
+	switch {
+	case opts.LatencyMin == 0 && opts.LatencyMax == 0:
+		latency = nil
+	case opts.LatencyMax <= opts.LatencyMin:
+		latency = sim.ConstantLatency(opts.LatencyMin)
+	default:
+		latency = sim.UniformLatency(opts.LatencyMin, opts.LatencyMax)
+	}
+	nodes := make(map[ProcessID]runtime.Node, cfg.N)
+	cNodes := make(map[ProcessID]*Node, cfg.N)
+	for _, p := range cfg.All() {
+		n := NewNode(nodeOpts)
+		cNodes[p] = n
+		nodes[p] = n
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Seed: opts.Seed, Latency: latency})
+	return &Cluster{net: net, nodes: cNodes}
+}
+
+// Node returns the composed process p.
+func (c *Cluster) Node(p ProcessID) *Node { return c.nodes[p] }
+
+// Run advances virtual time to the given instant, processing all due
+// events.
+func (c *Cluster) Run(until time.Duration) { c.net.Run(until) }
+
+// RunUntil processes events until pred holds or maxTime passes.
+func (c *Cluster) RunUntil(pred func() bool, maxTime time.Duration) bool {
+	return c.net.RunUntil(pred, maxTime)
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() time.Duration { return c.net.Now() }
+
+// Metrics returns the cluster's counter registry.
+func (c *Cluster) Metrics() *Registry { return c.net.Metrics() }
+
+// Agreed reports whether every node currently holds the same quorum,
+// and returns it.
+func (c *Cluster) Agreed() (Quorum, bool) {
+	var first Quorum
+	initialized := false
+	for _, n := range c.nodes {
+		q := n.CurrentQuorum()
+		if !initialized {
+			first, initialized = q, true
+			continue
+		}
+		if !q.Equal(first) {
+			return Quorum{}, false
+		}
+	}
+	return first, true
+}
+
+// Simulation wraps the deterministic discrete-event network over
+// arbitrary protocol nodes — for compositions the Cluster helpers do
+// not cover (XPaxos or consensus replicas, custom Byzantine nodes).
+type Simulation struct {
+	net *sim.Network
+}
+
+// NewSimulatedClusterOf builds a simulated network driving the given
+// nodes; every process in cfg must have one.
+func NewSimulatedClusterOf(cfg Config, nodes map[ProcessID]RuntimeNode, opts ClusterOptions) *Simulation {
+	var latency sim.LatencyModel
+	switch {
+	case opts.LatencyMin == 0 && opts.LatencyMax == 0:
+		latency = nil
+	case opts.LatencyMax <= opts.LatencyMin:
+		latency = sim.ConstantLatency(opts.LatencyMin)
+	default:
+		latency = sim.UniformLatency(opts.LatencyMin, opts.LatencyMax)
+	}
+	simNodes := make(map[ProcessID]runtime.Node, len(nodes))
+	for p, n := range nodes {
+		simNodes[p] = n
+	}
+	return &Simulation{net: sim.NewNetwork(cfg, simNodes, sim.Options{Seed: opts.Seed, Latency: latency})}
+}
+
+// Run advances virtual time to the given instant.
+func (s *Simulation) Run(until time.Duration) { s.net.Run(until) }
+
+// RunUntil processes events until pred holds or maxTime passes.
+func (s *Simulation) RunUntil(pred func() bool, maxTime time.Duration) bool {
+	return s.net.RunUntil(pred, maxTime)
+}
+
+// Now returns the virtual time.
+func (s *Simulation) Now() time.Duration { return s.net.Now() }
+
+// Metrics returns the run's counter registry.
+func (s *Simulation) Metrics() *Registry { return s.net.Metrics() }
+
+// FollowerCluster is a simulated Follower Selection deployment.
+type FollowerCluster struct {
+	net   *sim.Network
+	nodes map[ProcessID]*FollowerNode
+}
+
+// NewSimulatedFollowerCluster builds a simulated Follower Selection
+// cluster (requires n > 3f).
+func NewSimulatedFollowerCluster(cfg Config, opts ClusterOptions) *FollowerCluster {
+	nodeOpts := DefaultFollowerNodeOptions()
+	if opts.Node != nil {
+		nodeOpts.FD = opts.Node.FD
+		nodeOpts.Store = opts.Node.Store
+		nodeOpts.HeartbeatPeriod = opts.Node.HeartbeatPeriod
+	}
+	nodes := make(map[ProcessID]runtime.Node, cfg.N)
+	fNodes := make(map[ProcessID]*FollowerNode, cfg.N)
+	for _, p := range cfg.All() {
+		n := NewFollowerNode(nodeOpts)
+		fNodes[p] = n
+		nodes[p] = n
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{Seed: opts.Seed})
+	return &FollowerCluster{net: net, nodes: fNodes}
+}
+
+// Node returns the composed process p.
+func (c *FollowerCluster) Node(p ProcessID) *FollowerNode { return c.nodes[p] }
+
+// Run advances virtual time to the given instant.
+func (c *FollowerCluster) Run(until time.Duration) { c.net.Run(until) }
+
+// Now returns the cluster's virtual time.
+func (c *FollowerCluster) Now() time.Duration { return c.net.Now() }
+
+// Agreed reports whether every node holds the same leader quorum.
+func (c *FollowerCluster) Agreed() (Quorum, bool) {
+	var first Quorum
+	initialized := false
+	for _, n := range c.nodes {
+		q := n.CurrentQuorum()
+		if !initialized {
+			first, initialized = q, true
+			continue
+		}
+		if !q.Equal(first) {
+			return Quorum{}, false
+		}
+	}
+	return first, true
+}
+
+// HostConfig configures a real TCP process (see internal/transport).
+type HostConfig = transport.Config
+
+// Host runs a composed node over TCP.
+type Host = transport.Host
+
+// NewTCPHost starts a protocol node on a real TCP listener.
+func NewTCPHost(cfg HostConfig, node RuntimeNode) (*Host, error) {
+	return transport.NewHost(cfg, node)
+}
+
+// NewHMACAuth derives per-process HMAC-SHA256 authenticators from a
+// shared master secret — the cheap option for trusted-LAN deployments.
+func NewHMACAuth(cfg Config, master []byte) Authenticator {
+	return crypto.NewHMACRing(cfg, master)
+}
+
+// NewEd25519Auth generates a fresh ed25519 keyring for all processes
+// (deterministic from the seed when seeded ≠ 0 is required, pass nil
+// reader semantics via the crypto package directly).
+func NewEd25519Auth(cfg Config) (Authenticator, error) {
+	return crypto.NewEd25519Ring(cfg, nil)
+}

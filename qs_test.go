@@ -1,0 +1,96 @@
+package quorumselect_test
+
+import (
+	"testing"
+	"time"
+
+	qs "quorumselect"
+	"quorumselect/internal/xpaxos"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := qs.MustConfig(4, 1)
+	opts := qs.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 0
+	cluster := qs.NewSimulatedCluster(cfg, qs.ClusterOptions{Node: &opts})
+	cluster.Node(1).Selector.OnSuspected(qs.NewProcSet(2))
+	cluster.Run(time.Second)
+	quorum, ok := cluster.Agreed()
+	if !ok {
+		t.Fatal("cluster did not agree")
+	}
+	want := qs.NewQuorum([]qs.ProcessID{1, 3, 4})
+	if !quorum.Equal(want) {
+		t.Errorf("quorum = %s, want %s", quorum, want)
+	}
+}
+
+func TestFacadeXPaxos(t *testing.T) {
+	nodeOpts := qs.DefaultNodeOptions()
+	nodeOpts.HeartbeatPeriod = 0
+	node1, replica1 := qs.NewXPaxosNode(xpaxos.Options{}, nodeOpts)
+	_ = node1
+	_ = replica1
+	// Full composition is exercised in internal/xpaxos tests; here we
+	// check only that the facade constructors wire up.
+	if replica1 == nil || node1 == nil {
+		t.Fatal("facade constructors returned nil")
+	}
+}
+
+func TestFacadeAuthenticators(t *testing.T) {
+	cfg := qs.MustConfig(4, 1)
+	h := qs.NewHMACAuth(cfg, []byte("secret"))
+	sig, err := h.Sign(1, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(1, []byte("m"), sig); err != nil {
+		t.Errorf("HMAC verify: %v", err)
+	}
+	e, err := qs.NewEd25519Auth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err = e.Sign(2, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(2, []byte("m"), sig); err != nil {
+		t.Errorf("ed25519 verify: %v", err)
+	}
+}
+
+func TestFacadeFollowerCluster(t *testing.T) {
+	cfg := qs.MustConfig(7, 2)
+	opts := qs.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 0
+	cluster := qs.NewSimulatedFollowerCluster(cfg, qs.ClusterOptions{Node: &opts})
+	cluster.Node(3).Selector.OnSuspected(qs.NewProcSet(1))
+	cluster.Run(time.Second)
+	quorum, ok := cluster.Agreed()
+	if !ok {
+		t.Fatal("follower cluster did not agree")
+	}
+	if quorum.Leader != 2 {
+		t.Errorf("leader = %v, want p2", quorum.Leader)
+	}
+}
+
+func TestFacadeLatencyOptions(t *testing.T) {
+	cfg := qs.MustConfig(4, 1)
+	opts := qs.DefaultNodeOptions()
+	opts.HeartbeatPeriod = 0
+	for _, co := range []qs.ClusterOptions{
+		{Node: &opts},
+		{Node: &opts, LatencyMin: time.Millisecond},
+		{Node: &opts, LatencyMin: time.Millisecond, LatencyMax: 5 * time.Millisecond, Seed: 7},
+	} {
+		cluster := qs.NewSimulatedCluster(cfg, co)
+		cluster.Node(2).Selector.OnSuspected(qs.NewProcSet(4))
+		cluster.Run(time.Second)
+		if _, ok := cluster.Agreed(); !ok {
+			t.Errorf("cluster with options %+v did not agree", co)
+		}
+	}
+}
