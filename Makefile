@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet check clean golden
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the gate CI and pre-commit hooks should run.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# golden regenerates the Prometheus exposition golden file after an
+# intentional format change.
+golden:
+	UPDATE_GOLDEN=1 $(GO) test ./internal/metrics/
+
+clean:
+	$(GO) clean ./...

@@ -34,6 +34,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "virtual time to simulate")
 	scenario := flag.String("scenario", "crash", "crash|adversary")
 	verbose := flag.Bool("v", false, "log protocol events")
+	metricsDump := flag.Bool("metrics-dump", false, "print the run's metrics in Prometheus text format after the run")
 	flag.Parse()
 
 	cfg, err := ids.NewConfig(*n, *f)
@@ -93,6 +94,10 @@ func main() {
 		fmt.Printf("max per epoch       : %d\n", res.MaxPerEpoch)
 		fmt.Printf("final leader        : %s (epoch %d)\n", res.FinalLeader, res.FinalEpoch)
 		fmt.Printf("agreement           : %v\n", res.Agreement)
+		if *metricsDump {
+			fmt.Println()
+			net.Metrics().WriteTo(os.Stdout)
+		}
 		return
 	}
 
@@ -117,4 +122,8 @@ func main() {
 		}
 	}
 	fmt.Printf("agreement    : %v\n", agreed)
+	if *metricsDump {
+		fmt.Println()
+		net.Metrics().WriteTo(os.Stdout)
+	}
 }

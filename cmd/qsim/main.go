@@ -39,6 +39,7 @@ func main() {
 	scenario := flag.String("scenario", "crash", "crash|omission|timing|adversary")
 	verbose := flag.Bool("v", false, "log protocol events")
 	traceFilter := flag.String("trace", "", "print a timeline of events containing this substring (e.g. QUORUM)")
+	metricsDump := flag.Bool("metrics-dump", false, "print the run's metrics in Prometheus text format after the run")
 	flag.Parse()
 
 	cfg, err := ids.NewConfig(*n, *f)
@@ -113,6 +114,10 @@ func main() {
 			res.MaxPerEpoch, ids.TheoremThreeBound(cfg.F), ids.TheoremFourBound(cfg.F))
 		fmt.Printf("final epoch         : %d\n", res.FinalEpoch)
 		fmt.Printf("agreement           : %v\n", res.Agreement)
+		if *metricsDump {
+			fmt.Println()
+			net.Metrics().WriteTo(os.Stdout)
+		}
 		return
 	}
 
@@ -140,6 +145,10 @@ func main() {
 		net.Metrics().Counter("msg.sent.total"), net.Metrics().Counter("msg.dropped.total"))
 	if rec != nil {
 		fmt.Printf("\ntrace (%q):\n%s", *traceFilter, rec.Timeline(trace.Filter{Contains: *traceFilter}))
+	}
+	if *metricsDump {
+		fmt.Println()
+		net.Metrics().WriteTo(os.Stdout)
 	}
 }
 

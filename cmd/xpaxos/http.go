@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +19,8 @@ import (
 //	POST /submit          body = operation; returns the execution result
 //	GET  /status          JSON: view, leader, quorum, executed slots
 //	GET  /kv?key=k        read a key from the local state machine
+//	GET  /metrics         Prometheus text exposition of the host registry
+//	GET  /events?since=N  JSON: protocol events with Seq > N
 //
 // Submissions are assigned client/sequence numbers per frontend; the
 // handler blocks (with a timeout) until the operation executes locally.
@@ -127,6 +131,41 @@ func (f *frontend) handleKV(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, value)
 }
 
+// handleMetrics serves the host's registry in Prometheus text
+// exposition format 0.0.4.
+func (f *frontend) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	f.host.Metrics().WriteTo(w)
+}
+
+// handleEvents serves the protocol event ring as JSON. ?since=N returns
+// only events with Seq > N; "missed" counts matching events already
+// evicted from the ring (the caller fell behind), and "latest" is the
+// cursor to pass as ?since= on the next poll.
+func (f *frontend) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad ?since=", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	bus := f.host.Events()
+	events, missed := bus.Since(since)
+	if events == nil {
+		events = []qs.Event{}
+	}
+	resp := struct {
+		Events []qs.Event `json:"events"`
+		Missed uint64     `json:"missed"`
+		Latest uint64     `json:"latest"`
+	}{Events: events, Missed: missed, Latest: bus.Total()}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
 // serveHTTP starts the frontend listener; it returns the server for
 // shutdown.
 func serveHTTP(addr string, f *frontend) *http.Server {
@@ -134,10 +173,30 @@ func serveHTTP(addr string, f *frontend) *http.Server {
 	mux.HandleFunc("/submit", f.handleSubmit)
 	mux.HandleFunc("/status", f.handleStatus)
 	mux.HandleFunc("/kv", f.handleKV)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/events", f.handleEvents)
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Printf("http frontend: %v\n", err)
+		}
+	}()
+	return srv
+}
+
+// serveDebug starts a pprof-only listener on its own mux, so profiling
+// stays off the client-facing frontend unless explicitly enabled.
+func serveDebug(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("debug listener: %v\n", err)
 		}
 	}()
 	return srv

@@ -36,6 +36,7 @@ func main() {
 	local := flag.Bool("local", false, "run the whole cluster in this process")
 	requests := flag.Int("requests", 10, "requests to submit in local mode")
 	httpAddr := flag.String("http", "", "client-facing HTTP address (server mode), e.g. 127.0.0.1:8081")
+	debugAddr := flag.String("debug-addr", "", "optional pprof listener address (server mode), e.g. 127.0.0.1:6060")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		runLocal(*n, *f, *secret, *requests, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *httpAddr, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *httpAddr, *debugAddr, *verbose)
 }
 
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
@@ -77,7 +78,7 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	return host, replica, kv, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, httpAddr string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, httpAddr, debugAddr string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -113,7 +114,12 @@ func runServer(id int, peersFlag string, f int, secret, httpAddr string, verbose
 		fe = newFrontend(host, replica, kv, uint64(self))
 		srv := serveHTTP(httpAddr, fe)
 		defer srv.Close()
-		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=...)\n", httpAddr)
+		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=..., GET /metrics, GET /events?since=N)\n", httpAddr)
+	}
+	if debugAddr != "" {
+		dbg := serveDebug(debugAddr)
+		defer dbg.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", debugAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

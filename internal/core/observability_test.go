@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
+	"quorumselect/internal/sim"
+)
+
+// TestObservabilityEndToEnd drives the full composition (failure
+// detector → suspicion store → selector) through a crash and checks
+// that the run is observable from the outside: typed events on the bus,
+// detection latency in the histogram, and gauges tracking store state.
+func TestObservabilityEndToEnd(t *testing.T) {
+	opts := quietOpts()
+	opts.HeartbeatPeriod = 25 * time.Millisecond
+	// Crash p2: a default-quorum member, so the crash must force a
+	// quorum change as well as suspicions.
+	fx := newFixture(t, 4, 1, opts, sim.Options{}, ids.NewProcSet(2))
+	fx.net.Run(2 * time.Second)
+
+	bus := fx.net.Events()
+	if bus.Total() == 0 {
+		t.Fatal("no events published during the run")
+	}
+	if got := len(bus.OfType(obs.TypeExpect)); got == 0 {
+		t.Error("no EXPECT events from heartbeat expectations")
+	}
+	suspected := bus.OfType(obs.TypeSuspected)
+	if len(suspected) == 0 {
+		t.Fatal("no SUSPECTED events after p2 crashed")
+	}
+	for _, e := range suspected {
+		if e.Subject != 2 {
+			t.Errorf("SUSPECTED subject = %s, want p2 (event %s)", e.Subject, e)
+		}
+		if e.Node == 2 {
+			t.Errorf("crashed p2 emitted an event: %s", e)
+		}
+	}
+	qc := bus.OfType(obs.TypeQuorumChange)
+	if len(qc) == 0 {
+		t.Fatal("no QUORUM_CHANGE events after the crash")
+	}
+	if qc[0].Detail == "" {
+		t.Error("QUORUM_CHANGE carries no quorum membership detail")
+	}
+
+	reg := fx.net.Metrics()
+	h, ok := reg.Hist("fd.detection.latency.seconds")
+	if !ok || h.Count == 0 {
+		t.Fatal("fd.detection.latency.seconds histogram empty")
+	}
+	if p50 := h.Percentile(50); p50 <= 0 || p50 > 2 {
+		t.Errorf("detection latency p50 = %v s, want within (0, 2]", p50)
+	}
+	if v := reg.Gauge("suspicion.store.size", metrics.L{Key: "node", Value: "p1"}); v <= 0 {
+		t.Errorf("suspicion.store.size{node=p1} = %v, want positive", v)
+	}
+	if v := reg.Gauge("fd.expectations.pending", metrics.L{Key: "node", Value: "p1"}); v < 0 {
+		t.Errorf("fd.expectations.pending{node=p1} = %v, want non-negative", v)
+	}
+	if reg.Counter("core.quorum.recomputed") == 0 {
+		t.Error("core.quorum.recomputed never incremented")
+	}
+	if h, ok := reg.Hist("core.quorum.update.seconds"); !ok || h.Count == 0 {
+		t.Error("core.quorum.update.seconds histogram empty")
+	}
+
+	// Events are timeline-ordered and carry the virtual clock.
+	events := bus.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("event seq gap: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestObservabilityDeterministic asserts the event stream is
+// reproducible: same seed, same nodes → byte-identical timelines.
+func TestObservabilityDeterministic(t *testing.T) {
+	run := func() string {
+		fx := newFixture(t, 4, 1, quietOpts(), sim.Options{Seed: 7}, ids.NewProcSet())
+		fx.nodes[1].Selector.OnSuspected(ids.NewProcSet(2))
+		fx.net.Run(time.Second)
+		out := ""
+		for _, e := range fx.net.Events().Events() {
+			out += e.String() + "\n"
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("no events captured")
+	}
+	if a != b {
+		t.Fatalf("event timelines differ between identical runs:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -31,8 +31,11 @@
 package core
 
 import (
+	"time"
+
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
 )
@@ -107,6 +110,15 @@ func (s *Selector) UpdateQuorum() {
 	s.updating = true
 	defer func() { s.updating = false }()
 
+	// Recomputation cost is CPU time, so it is measured against the wall
+	// clock: the simulator's virtual clock does not advance during a
+	// synchronous call.
+	wallStart := time.Now()
+	s.env.Metrics().Inc("core.quorum.recomputed", 1)
+	defer func() {
+		s.env.Metrics().Observe("core.quorum.update.seconds", time.Since(wallStart).Seconds())
+	}()
+
 	q := s.env.Config().Q()
 	// Epochs beyond startMax contain only the local process's own
 	// re-stamped suspicions (every foreign stamp is ≤ startMax), so the
@@ -138,6 +150,8 @@ func (s *Selector) UpdateQuorum() {
 			s.issuedTotal++
 			s.issuedInEpoch[s.store.Epoch()]++
 			s.env.Metrics().Inc("core.quorum.issued", 1)
+			runtime.Emit(s.env, obs.Event{Type: obs.TypeQuorumChange,
+				Epoch: s.store.Epoch(), Detail: quorum.String()})
 			s.log.Logf(logging.LevelDebug, "core: QUORUM %s (epoch %d)", quorum, s.store.Epoch())
 			if s.onQuorum != nil {
 				s.onQuorum(quorum)

@@ -29,7 +29,7 @@ func E7DetectionMatrix() Table {
 	t := Table{
 		ID:      "E7",
 		Title:   "Failure classification and detection (§II)",
-		Columns: []string{"failure class", "raised", "canceled", "app-detected", "classification", "paper"},
+		Columns: []string{"failure class", "raised", "canceled", "app-detected", "classification", "paper", "detect p50 (ms)"},
 	}
 
 	type scenario struct {
@@ -74,10 +74,12 @@ func E7DetectionMatrix() Table {
 	}
 
 	for _, sc := range scenarios {
-		raised, canceled, detected := runE7(sc.filter, sc.crash, sc.detect, sc.runtime)
+		raised, canceled, detected, detectP50 := runE7(sc.filter, sc.crash, sc.detect, sc.runtime)
 		class := classify(raised, canceled, detected)
-		t.AddRow(sc.name, raised, canceled, detected, class, sc.paper)
+		t.AddRow(sc.name, raised, canceled, detected, class, sc.paper, detectP50)
 	}
+	t.Notes = append(t.Notes,
+		"detect p50 = median fd.detection.latency.seconds (expectation issue -> suspicion) across all observers; '-' when no timeout suspicion occurred")
 	return t
 }
 
@@ -115,7 +117,18 @@ func (n *e7Node) Init(env runtime.Env) {
 
 func (n *e7Node) Receive(from ids.ProcessID, m wire.Message) { n.d.Receive(from, m) }
 
-func runE7(filter sim.Filter, crash, detect bool, dur time.Duration) (raised, canceled int, detected bool) {
+// detectionP50 reads the median detection latency from the run's
+// fd.detection.latency.seconds histogram, formatted in milliseconds
+// ("-" when no timeout suspicion was recorded).
+func detectionP50(net *sim.Network) string {
+	h, ok := net.Metrics().Hist("fd.detection.latency.seconds")
+	if !ok || h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", h.Percentile(50)*1000)
+}
+
+func runE7(filter sim.Filter, crash, detect bool, dur time.Duration) (raised, canceled int, detected bool, detectP50 string) {
 	cfg := ids.MustConfig(4, 1)
 	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
 	observers := make(map[ids.ProcessID]*e7Node, cfg.N)
@@ -139,7 +152,7 @@ func runE7(filter sim.Filter, crash, detect bool, dur time.Duration) (raised, ca
 	}
 	net.Run(dur)
 	o := observers[1]
-	return o.d.SuspicionsRaised(4), o.d.SuspicionsCanceled(4), o.d.IsDetected(4)
+	return o.d.SuspicionsRaised(4), o.d.SuspicionsCanceled(4), o.d.IsDetected(4), detectionP50(net)
 }
 
 // E8SuspectGraph replays Figure 4 exactly: the 5-process suspect graph
@@ -255,9 +268,13 @@ func E10Ablations() Table {
 
 	// (b) adaptive timeout under jittered (≤120ms) delay from p4.
 	for _, adaptive := range []bool{true, false} {
-		raised := runE10Adaptive(adaptive)
+		raised, detectP50 := runE10Adaptive(adaptive)
 		t.AddRow("adaptive FD timeout", fmt.Sprintf("adaptive=%v", adaptive),
 			"false suspicions of slow-but-correct p4", raised)
+		// Separate first column so the (ablation, variant) key stays
+		// unique per metric for consumers indexing rows pairwise.
+		t.AddRow("FD detection latency", fmt.Sprintf("adaptive=%v", adaptive),
+			"p50 suspicion latency (ms)", detectP50)
 	}
 	return t
 }
@@ -283,7 +300,7 @@ func runE10Forwarding(forward bool) bool {
 	return coreNodes[3].Store.Value(1, 2) == 1
 }
 
-func runE10Adaptive(adaptive bool) int {
+func runE10Adaptive(adaptive bool) (int, string) {
 	faulty := ids.NewProcSet(4)
 	slow := adversary.NewJitterDelay(faulty, 120*time.Millisecond, 2)
 	cfg := ids.MustConfig(4, 1)
@@ -299,5 +316,5 @@ func runE10Adaptive(adaptive bool) int {
 		Filter:  slow,
 	})
 	net.Run(6 * time.Second)
-	return observers[1].d.SuspicionsRaised(4)
+	return observers[1].d.SuspicionsRaised(4), detectionP50(net)
 }

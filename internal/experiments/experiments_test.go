@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -110,6 +111,15 @@ func TestE7Classifications(t *testing.T) {
 	for _, row := range tbl.Rows {
 		if got := row[4]; got != want[row[0]] {
 			t.Errorf("%s classified %q, want %q (row %v)", row[0], got, want[row[0]], row)
+		}
+		// Detection latency comes from the fd.detection.latency.seconds
+		// histogram; every scenario with a timeout suspicion must report
+		// a positive median.
+		if row[0] != "commission (proof)" {
+			var ms float64
+			if _, err := fmt.Sscanf(row[len(row)-1], "%f", &ms); err != nil || ms <= 0 {
+				t.Errorf("%s: detect p50 = %q, want positive latency", row[0], row[len(row)-1])
+			}
 		}
 	}
 }

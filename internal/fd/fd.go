@@ -36,6 +36,7 @@ import (
 
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -78,12 +79,13 @@ func DefaultOptions() Options {
 }
 
 type expectation struct {
-	scope   string
-	from    ids.ProcessID
-	desc    string
-	pred    Predicate
-	timer   runtime.Timer
-	overdue bool // timer fired; suspicion raised and still matchable
+	scope    string
+	from     ids.ProcessID
+	desc     string
+	pred     Predicate
+	timer    runtime.Timer
+	issuedAt time.Duration // env.Now() at Expect, for detection latency
+	overdue  bool          // timer fired; suspicion raised and still matchable
 }
 
 // Detector is the failure-detector module of one process.
@@ -102,6 +104,10 @@ type Detector struct {
 	raised   map[ids.ProcessID]int
 	canceled map[ids.ProcessID]int
 
+	// firstSuspectedAt feeds the suspected→detected span: the clock at
+	// the first still-standing suspicion of each process.
+	firstSuspectedAt map[ids.ProcessID]time.Duration
+
 	log logging.Logger
 }
 
@@ -117,11 +123,12 @@ func New(opts Options) *Detector {
 		opts.MaxTimeout = opts.BaseTimeout
 	}
 	return &Detector{
-		opts:     opts,
-		detected: make(map[ids.ProcessID]bool),
-		timeout:  make(map[ids.ProcessID]time.Duration),
-		raised:   make(map[ids.ProcessID]int),
-		canceled: make(map[ids.ProcessID]int),
+		opts:             opts,
+		detected:         make(map[ids.ProcessID]bool),
+		timeout:          make(map[ids.ProcessID]time.Duration),
+		raised:           make(map[ids.ProcessID]int),
+		canceled:         make(map[ids.ProcessID]int),
+		firstSuspectedAt: make(map[ids.ProcessID]time.Duration),
 	}
 }
 
@@ -196,9 +203,12 @@ func (d *Detector) match(from ids.ProcessID, m wire.Message) {
 		if !d.suspectedNow(from) {
 			d.canceled[from]++
 			d.env.Metrics().Inc("fd.suspicion.canceled", 1)
+			delete(d.firstSuspectedAt, from)
+			runtime.Emit(d.env, obs.Event{Type: obs.TypeSuspicionCleared, Subject: from})
 			d.publish()
 		}
 	}
+	d.updatePendingGauge()
 }
 
 // Expect registers the paper's ⟨EXPECT, P, i⟩: a message matching pred
@@ -209,10 +219,12 @@ func (d *Detector) Expect(scope string, from ids.ProcessID, desc string, pred Pr
 	if pred == nil {
 		panic("fd: Expect requires a predicate")
 	}
-	e := &expectation{scope: scope, from: from, desc: desc, pred: pred}
+	e := &expectation{scope: scope, from: from, desc: desc, pred: pred, issuedAt: d.env.Now()}
 	e.timer = d.env.After(d.timeoutFor(from), func() { d.expire(e) })
 	d.expects = append(d.expects, e)
 	d.env.Metrics().Inc("fd.expectation.issued", 1)
+	runtime.Emit(d.env, obs.Event{Type: obs.TypeExpect, Subject: from, Detail: scope + ":" + desc})
+	d.updatePendingGauge()
 }
 
 // expire fires when an expectation's timer lapses unmatched.
@@ -235,6 +247,13 @@ func (d *Detector) expire(e *expectation) {
 	if !alreadySuspected {
 		d.raised[e.from]++
 		d.env.Metrics().Inc("fd.suspicion.raised", 1)
+		// Detection latency: expectation issue → suspicion raised.
+		d.env.Metrics().Observe("fd.detection.latency.seconds",
+			(d.env.Now() - e.issuedAt).Seconds())
+		if _, ok := d.firstSuspectedAt[e.from]; !ok {
+			d.firstSuspectedAt[e.from] = d.env.Now()
+		}
+		runtime.Emit(d.env, obs.Event{Type: obs.TypeSuspected, Subject: e.from, Detail: e.desc})
 		d.log.Logf(logging.LevelDebug, "fd: suspecting %s (no %s within %v)",
 			e.from, e.desc, d.timeoutFor(e.from))
 		d.publish()
@@ -250,6 +269,14 @@ func (d *Detector) Detected(i ids.ProcessID) {
 	d.detected[i] = true
 	d.raised[i]++
 	d.env.Metrics().Inc("fd.detected", 1)
+	// Suspected → detected span, when a timeout suspicion preceded the
+	// proof of misbehavior.
+	if at, ok := d.firstSuspectedAt[i]; ok {
+		d.env.Metrics().Observe("fd.suspected.to.detected.seconds",
+			(d.env.Now() - at).Seconds())
+		delete(d.firstSuspectedAt, i)
+	}
+	runtime.Emit(d.env, obs.Event{Type: obs.TypeDetected, Subject: i})
 	d.log.Logf(logging.LevelInfo, "fd: application detected %s as faulty", i)
 	d.publish()
 }
@@ -268,6 +295,7 @@ func (d *Detector) CancelScope(scope string) {
 
 func (d *Detector) cancelWhere(drop func(*expectation) bool) {
 	before := d.Suspected()
+	dropped := 0
 	kept := d.expects[:0]
 	for _, e := range d.expects {
 		if drop(e) {
@@ -275,19 +303,27 @@ func (d *Detector) cancelWhere(drop func(*expectation) bool) {
 				e.timer.Stop()
 			}
 			d.env.Metrics().Inc("fd.expectation.canceled", 1)
+			dropped++
 			continue
 		}
 		kept = append(kept, e)
 	}
 	d.expects = kept
+	if dropped > 0 {
+		runtime.Emit(d.env, obs.Event{Type: obs.TypeCancel,
+			Detail: fmt.Sprintf("canceled=%d", dropped)})
+	}
 	if !d.Suspected().Equal(before) {
 		for _, p := range before.Sorted() {
 			if !d.suspectedNow(p) {
 				d.canceled[p]++
+				delete(d.firstSuspectedAt, p)
+				runtime.Emit(d.env, obs.Event{Type: obs.TypeSuspicionCleared, Subject: p})
 			}
 		}
 		d.publish()
 	}
+	d.updatePendingGauge()
 }
 
 // Suspected returns the current suspicion set S: every process with an
@@ -334,6 +370,11 @@ func (d *Detector) suspectedNow(i ids.ProcessID) bool {
 		}
 	}
 	return false
+}
+
+// updatePendingGauge tracks the outstanding-expectation count per node.
+func (d *Detector) updatePendingGauge() {
+	runtime.SetNodeGauge(d.env, "fd.expectations.pending", float64(len(d.expects)))
 }
 
 func (d *Detector) timeoutFor(i ids.ProcessID) time.Duration {

@@ -1,29 +1,94 @@
-// Package metrics provides the lightweight counters and histograms the
-// experiment harness uses to account messages, quorum changes, epochs
-// and detection latencies. Registries are plain in-memory structures;
-// the simulator is single-threaded per run, but Registry is still safe
-// for concurrent use so the TCP deployment can share it.
+// Package metrics provides the lightweight counters, gauges and
+// histograms the experiment harness and the live deployment use to
+// account messages, quorum changes, epochs and per-phase latencies.
+// Registries are plain in-memory structures, safe for concurrent use so
+// the TCP deployment can share one across goroutines; the simulator is
+// single-threaded per run and shares one registry across all simulated
+// processes.
+//
+// Beyond plain named counters, the registry supports:
+//
+//   - gauges (Set/Add semantics, optionally labeled),
+//   - labeled counters (e.g. messages_total{type="commit",dir="sent"}),
+//   - bounded-memory histograms: count/sum/min/max are always exact;
+//     percentiles are exact up to ReservoirSize samples and computed
+//     over a deterministic uniform reservoir beyond it,
+//   - a Snapshot() of everything, and a Prometheus-text-format
+//     exposition via WriteTo (see prometheus.go).
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 )
 
-// Registry holds named counters and histograms.
+// L is one metric label (a key/value pair).
+type L struct {
+	Key, Value string
+}
+
+// canonLabels renders labels in canonical Prometheus form: sorted by
+// key, values escaped, wrapped in braces. Empty input yields "".
+func canonLabels(labels []L) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]L, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules
+// for label values: backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Registry holds named counters, gauges and histograms.
 type Registry struct {
-	mu    sync.Mutex
-	count map[string]int64
-	hists map[string]*Histogram
+	mu      sync.Mutex
+	count   map[string]int64
+	labeled map[string]map[string]int64 // name → canonical labels → value
+	gauges  map[string]map[string]float64
+	hists   map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		count: make(map[string]int64),
-		hists: make(map[string]*Histogram),
+		count:   make(map[string]int64),
+		labeled: make(map[string]map[string]int64),
+		gauges:  make(map[string]map[string]float64),
+		hists:   make(map[string]*Histogram),
 	}
 }
 
@@ -41,13 +106,81 @@ func (r *Registry) Counter(name string) int64 {
 	return r.count[name]
 }
 
+// IncLabeled adds delta to the series of the named counter identified
+// by the given labels (order-insensitive).
+func (r *Registry) IncLabeled(name string, delta int64, labels ...L) {
+	key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series, ok := r.labeled[name]
+	if !ok {
+		series = make(map[string]int64)
+		r.labeled[name] = series
+	}
+	series[key] += delta
+}
+
+// LabeledCounter returns the value of one series of a labeled counter
+// (0 if unset).
+func (r *Registry) LabeledCounter(name string, labels ...L) int64 {
+	key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labeled[name][key]
+}
+
+// LabeledSum returns the sum over all series of a labeled counter.
+func (r *Registry) LabeledSum(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, v := range r.labeled[name] {
+		total += v
+	}
+	return total
+}
+
+// SetGauge sets the named gauge series to v.
+func (r *Registry) SetGauge(name string, v float64, labels ...L) {
+	key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series, ok := r.gauges[name]
+	if !ok {
+		series = make(map[string]float64)
+		r.gauges[name] = series
+	}
+	series[key] = v
+}
+
+// AddGauge adds delta to the named gauge series.
+func (r *Registry) AddGauge(name string, delta float64, labels ...L) {
+	key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series, ok := r.gauges[name]
+	if !ok {
+		series = make(map[string]float64)
+		r.gauges[name] = series
+	}
+	series[key] += delta
+}
+
+// Gauge returns the value of the named gauge series (0 if unset).
+func (r *Registry) Gauge(name string, labels ...L) float64 {
+	key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name][key]
+}
+
 // Observe records a sample in the named histogram.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Histogram{}
+		h = newHistogram()
 		r.hists[name] = h
 	}
 	h.add(v)
@@ -65,7 +198,7 @@ func (r *Registry) Hist(name string) (Histogram, bool) {
 	return h.snapshot(), true
 }
 
-// Counters returns a sorted copy of all counters, for printing.
+// Counters returns a sorted copy of all plain counters, for printing.
 func (r *Registry) Counters() []NamedCount {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -77,11 +210,13 @@ func (r *Registry) Counters() []NamedCount {
 	return out
 }
 
-// Reset clears all counters and histograms.
+// Reset clears all counters, gauges and histograms.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.count = make(map[string]int64)
+	r.labeled = make(map[string]map[string]int64)
+	r.gauges = make(map[string]map[string]float64)
 	r.hists = make(map[string]*Histogram)
 }
 
@@ -100,13 +235,42 @@ type NamedCount struct {
 	Value int64
 }
 
+// ReservoirSize bounds the per-histogram sample memory. Percentiles are
+// exact while the sample count is at or below it and approximate (over
+// a uniform reservoir) beyond it.
+const ReservoirSize = 1024
+
 // Histogram accumulates scalar samples and exposes summary statistics.
+// Count, Sum, MinSeen and MaxSeen are exact regardless of sample count;
+// Percentile is exact up to ReservoirSize samples and computed over a
+// deterministic uniform reservoir (Vitter's Algorithm R with a fixed
+// PRNG seed) above it, so memory stays bounded on arbitrarily long
+// runs and two identical runs report identical percentiles.
 type Histogram struct {
 	Count   int64
 	Sum     float64
 	MinSeen float64
 	MaxSeen float64
 	samples []float64
+	rng     uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{rng: 0x9e3779b97f4a7c15}
+}
+
+// nextRand is a xorshift64* step — deterministic, seeded at histogram
+// creation, independent of the global rand state.
+func (h *Histogram) nextRand() uint64 {
+	x := h.rng
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	h.rng = x
+	return x * 0x2545f4914f6cdd1d
 }
 
 func (h *Histogram) add(v float64) {
@@ -118,7 +282,17 @@ func (h *Histogram) add(v float64) {
 	}
 	h.Count++
 	h.Sum += v
-	h.samples = append(h.samples, v)
+	if len(h.samples) < ReservoirSize {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Algorithm R: the i-th sample (1-based) replaces a random reservoir
+	// slot with probability ReservoirSize/i, keeping the reservoir a
+	// uniform sample of everything seen.
+	j := h.nextRand() % uint64(h.Count)
+	if j < uint64(ReservoirSize) {
+		h.samples[j] = v
+	}
 }
 
 func (h *Histogram) snapshot() Histogram {
@@ -136,8 +310,14 @@ func (h Histogram) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
-// nearest-rank on the sorted samples; 0 with no samples.
+// Exact reports whether Percentile is computed over every observed
+// sample (true while Count ≤ ReservoirSize) rather than a reservoir.
+func (h Histogram) Exact() bool { return h.Count <= ReservoirSize }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank definition: the sample at rank ⌈p/100·N⌉ of the sorted
+// samples (p = 0 selects the minimum). 0 with no samples. The result
+// is exact while Exact() holds and reservoir-approximate beyond.
 func (h Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
@@ -151,12 +331,12 @@ func (h Histogram) Percentile(p float64) float64 {
 	if p >= 100 {
 		return s[len(s)-1]
 	}
-	rank := int(p/100*float64(len(s))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(s) {
-		rank = len(s) - 1
+	if rank > len(s) {
+		rank = len(s)
 	}
-	return s[rank]
+	return s[rank-1]
 }

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -27,6 +30,42 @@ func TestCounters(t *testing.T) {
 	r.Reset()
 	if r.Counter("a") != 0 {
 		t.Error("Reset did not clear")
+	}
+}
+
+func TestLabeledCounters(t *testing.T) {
+	r := NewRegistry()
+	r.IncLabeled("messages_total", 1, L{"type", "commit"}, L{"dir", "sent"})
+	r.IncLabeled("messages_total", 2, L{"dir", "sent"}, L{"type", "commit"}) // order-insensitive
+	r.IncLabeled("messages_total", 5, L{"type", "prepare"}, L{"dir", "sent"})
+	if got := r.LabeledCounter("messages_total", L{"type", "commit"}, L{"dir", "sent"}); got != 3 {
+		t.Errorf("commit series = %d, want 3", got)
+	}
+	if got := r.LabeledCounter("messages_total", L{"type", "prepare"}, L{"dir", "sent"}); got != 5 {
+		t.Errorf("prepare series = %d, want 5", got)
+	}
+	if got := r.LabeledSum("messages_total"); got != 8 {
+		t.Errorf("sum = %d, want 8", got)
+	}
+	if got := r.LabeledCounter("messages_total", L{"type", "missing"}); got != 0 {
+		t.Errorf("missing series = %d", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("depth", 4)
+	r.AddGauge("depth", -1)
+	if got := r.Gauge("depth"); got != 3 {
+		t.Errorf("depth = %v, want 3", got)
+	}
+	r.SetGauge("view", 7, L{"node", "p1"})
+	r.SetGauge("view", 9, L{"node", "p2"})
+	if got := r.Gauge("view", L{"node", "p2"}); got != 9 {
+		t.Errorf("view{p2} = %v, want 9", got)
+	}
+	if got := r.Gauge("view"); got != 0 {
+		t.Errorf("unlabeled view = %v, want 0", got)
 	}
 }
 
@@ -59,6 +98,44 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the documented nearest-rank definition
+// (rank ⌈p/100·N⌉) across the edge ranks.
+func TestPercentileNearestRank(t *testing.T) {
+	observe := func(vals ...float64) Histogram {
+		r := NewRegistry()
+		for _, v := range vals {
+			r.Observe("h", v)
+		}
+		h, _ := r.Hist("h")
+		return h
+	}
+	tests := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"p50 of four", []float64{1, 2, 3, 4}, 50, 2},
+		{"p25 of four", []float64{1, 2, 3, 4}, 25, 1},
+		{"p35 of four", []float64{1, 2, 3, 4}, 35, 2},
+		{"p75 of four", []float64{1, 2, 3, 4}, 75, 3},
+		{"p100 of four", []float64{1, 2, 3, 4}, 100, 4},
+		{"p0 of four", []float64{1, 2, 3, 4}, 0, 1},
+		{"p50 of five", []float64{5, 1, 3, 2, 4}, 50, 3},
+		{"single sample p0", []float64{42}, 0, 42},
+		{"single sample p50", []float64{42}, 50, 42},
+		{"single sample p100", []float64{42}, 100, 42},
+		{"p1 of four", []float64{1, 2, 3, 4}, 1, 1},
+		{"p99 of four", []float64{1, 2, 3, 4}, 99, 4},
+	}
+	for _, tc := range tests {
+		h := observe(tc.samples...)
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
 func TestEmptyHistogram(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Percentile(50) != 0 {
@@ -66,22 +143,150 @@ func TestEmptyHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundedMemory observes over a million samples and checks
+// that retained sample memory stays capped at ReservoirSize while the
+// exact aggregates and the approximate percentiles remain sane.
+func TestHistogramBoundedMemory(t *testing.T) {
+	r := NewRegistry()
+	const n = 1_200_000
+	for i := 0; i < n; i++ {
+		r.Observe("big", float64(i%1000))
+	}
+	h, _ := r.Hist("big")
+	if h.Count != n {
+		t.Fatalf("Count = %d, want %d", h.Count, n)
+	}
+	if len(h.samples) != ReservoirSize {
+		t.Fatalf("retained samples = %d, want %d", len(h.samples), ReservoirSize)
+	}
+	if h.Exact() {
+		t.Error("Exact() should be false beyond the reservoir size")
+	}
+	if h.MinSeen != 0 || h.MaxSeen != 999 {
+		t.Errorf("min/max = %v/%v", h.MinSeen, h.MaxSeen)
+	}
+	// The underlying distribution is uniform on [0, 999]; the reservoir
+	// median must land in a generous band around 500.
+	if p50 := h.Percentile(50); p50 < 350 || p50 > 650 {
+		t.Errorf("reservoir p50 = %v, want ≈ 500", p50)
+	}
+	// Determinism: an identical second run reports identical percentiles.
+	r2 := NewRegistry()
+	for i := 0; i < n; i++ {
+		r2.Observe("big", float64(i%1000))
+	}
+	h2, _ := r2.Hist("big")
+	for _, p := range []float64{1, 25, 50, 75, 99} {
+		if h.Percentile(p) != h2.Percentile(p) {
+			t.Fatalf("p%v differs between identical runs: %v vs %v", p, h.Percentile(p), h2.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramExactBelowCap(t *testing.T) {
+	r := NewRegistry()
+	for i := ReservoirSize; i >= 1; i-- {
+		r.Observe("h", float64(i))
+	}
+	h, _ := r.Hist("h")
+	if !h.Exact() {
+		t.Fatal("Exact() should hold at the cap")
+	}
+	if got := h.Percentile(50); got != ReservoirSize/2 {
+		t.Errorf("p50 = %v, want %d", got, ReservoirSize/2)
+	}
+}
+
+// TestPrometheusGolden compares the text exposition against the golden
+// file: families sorted by name, series sorted by labels, label values
+// escaped, histograms exposed as summaries.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("msg.sent.total", 12)
+	r.Inc("fd.detected", 1)
+	r.IncLabeled("transport.messages.total", 7, L{"type", "commit"}, L{"dir", "sent"})
+	r.IncLabeled("transport.messages.total", 3, L{"type", "prepare"}, L{"dir", "sent"})
+	r.IncLabeled("weird.labels", 1, L{"path", `C:\tmp`}, L{"quote", `say "hi"`})
+	r.SetGauge("xpaxos.view", 4, L{"node", "p1"})
+	r.SetGauge("suspicion.store.size", 9, L{"node", "p1"})
+	for i := 1; i <= 100; i++ {
+		r.Observe("xpaxos.commit.latency.seconds", float64(i)/1000)
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	tests := map[string]string{
+		"msg.sent.total":  "msg_sent_total",
+		"already_legal:x": "already_legal:x",
+		"1starts-digit":   "_1starts_digit",
+		"sp ace":          "sp_ace",
+	}
+	for in, want := range tests {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrency hammers every registry surface from multiple
+// goroutines; run under -race it doubles as the data-race check.
 func TestRegistryConcurrency(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				r.Inc("x", 1)
 				r.Observe("h", float64(i))
+				r.IncLabeled("labeled", 1, L{"g", "a"})
+				r.SetGauge("gauge", float64(i), L{"g", "a"})
+				r.AddGauge("adds", 1)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if _, err := r.WriteTo(&buf); err != nil {
+						t.Errorf("WriteTo: %v", err)
+					}
+					_ = r.Snapshot()
+					_, _ = r.Hist("h")
+					_ = r.Counters()
+				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if got := r.Counter("x"); got != 8000 {
 		t.Errorf("x = %d, want 8000", got)
+	}
+	if got := r.LabeledCounter("labeled", L{"g", "a"}); got != 8000 {
+		t.Errorf("labeled = %d, want 8000", got)
+	}
+	if got := r.Gauge("adds"); got != 8000 {
+		t.Errorf("adds = %v, want 8000", got)
 	}
 	h, _ := r.Hist("h")
 	if h.Count != 8000 {

@@ -1,0 +1,222 @@
+// Package obs is the typed protocol event bus: a bounded, concurrency-
+// safe ring of structured events covering the paper's module interface
+// (EXPECT / SUSPECTED / DETECTED / CANCEL), quorum changes, view
+// changes, checkpoints and epoch advances.
+//
+// Where the trace package captures free-form log lines, obs events are
+// typed records with stable fields, so frontends can serve them over
+// HTTP (`GET /events?since=`) and experiments can assert on protocol
+// phases without grepping log text. Every event gets a monotonically
+// increasing sequence number; the ring bounds memory, and overwritten
+// events are accounted in Dropped().
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"quorumselect/internal/ids"
+)
+
+// Type classifies a protocol event.
+type Type uint8
+
+// Event types, mapping the paper's interface events plus the phase
+// transitions the observability layer times.
+const (
+	// TypeExpect is the failure detector's ⟨EXPECT, P, i⟩.
+	TypeExpect Type = iota + 1
+	// TypeSuspected is a new suspicion: ⟨SUSPECTED, S⟩ grew.
+	TypeSuspected
+	// TypeSuspicionCleared is a suspicion canceled by a late matching
+	// message (eventual strong accuracy in action).
+	TypeSuspicionCleared
+	// TypeDetected is the application's ⟨DETECTED, i⟩: permanent.
+	TypeDetected
+	// TypeCancel is ⟨CANCEL⟩ / per-scope expectation cancellation.
+	TypeCancel
+	// TypeQuorumChange is the selector's ⟨QUORUM, Q⟩.
+	TypeQuorumChange
+	// TypeViewChangeStart marks a replica entering a view change.
+	TypeViewChangeStart
+	// TypeViewChangeEnd marks the new view installed.
+	TypeViewChangeEnd
+	// TypeCheckpoint marks a stable checkpoint taken.
+	TypeCheckpoint
+	// TypeEpochAdvance marks a suspicion-store epoch advance.
+	TypeEpochAdvance
+)
+
+var typeNames = map[Type]string{
+	TypeExpect:           "EXPECT",
+	TypeSuspected:        "SUSPECTED",
+	TypeSuspicionCleared: "SUSPICION_CLEARED",
+	TypeDetected:         "DETECTED",
+	TypeCancel:           "CANCEL",
+	TypeQuorumChange:     "QUORUM_CHANGE",
+	TypeViewChangeStart:  "VIEW_CHANGE_START",
+	TypeViewChangeEnd:    "VIEW_CHANGE_END",
+	TypeCheckpoint:       "CHECKPOINT",
+	TypeEpochAdvance:     "EPOCH_ADVANCE",
+}
+
+// String returns the stable wire name of the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// MarshalJSON encodes the type as its stable name.
+func (t Type) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// Event is one structured protocol event. Zero-valued optional fields
+// are omitted from JSON.
+type Event struct {
+	// Seq is the bus-assigned sequence number, monotonically increasing
+	// from 1.
+	Seq uint64 `json:"seq"`
+	// At is the emitting process's clock (virtual in simulations, time
+	// since host start on TCP), in nanoseconds on the wire.
+	At time.Duration `json:"at"`
+	// Node is the emitting process.
+	Node ids.ProcessID `json:"node"`
+	// Type classifies the event.
+	Type Type `json:"type"`
+	// Subject is the process the event is about (the expected sender,
+	// the suspected/detected process), when there is one.
+	Subject ids.ProcessID `json:"subject,omitempty"`
+	// View is the XPaxos view, for view-change events.
+	View uint64 `json:"view,omitempty"`
+	// Epoch is the suspicion-store epoch, for quorum/epoch events.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Slot is the log slot, for checkpoint events.
+	Slot uint64 `json:"slot,omitempty"`
+	// Detail is free-form context (quorum membership, scope tags, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as a timeline row.
+func (e Event) String() string {
+	s := fmt.Sprintf("%10s %s %-17s", e.At, e.Node, e.Type)
+	if e.Subject != 0 {
+		s += " subject=" + e.Subject.String()
+	}
+	if e.View != 0 {
+		s += fmt.Sprintf(" view=%d", e.View)
+	}
+	if e.Epoch != 0 {
+		s += fmt.Sprintf(" epoch=%d", e.Epoch)
+	}
+	if e.Slot != 0 {
+		s += fmt.Sprintf(" slot=%d", e.Slot)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// DefaultCapacity is the ring size used when none is given: enough for
+// the live deployment's /events window without risking OOM on long
+// runs.
+const DefaultCapacity = 65536
+
+// Bus is a bounded ring of events, safe for concurrent use.
+type Bus struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever published; the latest event's Seq
+}
+
+// NewBus returns a bus storing up to capacity events; capacity <= 0
+// selects DefaultCapacity.
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Bus{buf: make([]Event, capacity)}
+}
+
+// Publish assigns the event's sequence number and stores it, evicting
+// the oldest event once the ring is full. It returns the assigned
+// sequence number.
+func (b *Bus) Publish(e Event) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total++
+	e.Seq = b.total
+	b.buf[int((b.total-1)%uint64(len(b.buf)))] = e
+	return e.Seq
+}
+
+// Total returns how many events were ever published (the latest Seq).
+func (b *Bus) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Len returns how many events are currently retained.
+func (b *Bus) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.retained())
+}
+
+// Dropped returns how many events have been evicted from the ring.
+func (b *Bus) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.retained()
+}
+
+// retained returns the number of events still in the ring (mu held).
+func (b *Bus) retained() uint64 {
+	if b.total < uint64(len(b.buf)) {
+		return b.total
+	}
+	return uint64(len(b.buf))
+}
+
+// Since returns a copy of every retained event with Seq > seq, in
+// sequence order, plus the count of matching events already evicted
+// (non-zero when the caller fell behind the ring).
+func (b *Bus) Since(seq uint64) (events []Event, missed uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	oldest := b.total - b.retained() + 1 // seq of the oldest retained event
+	if b.total == 0 || seq >= b.total {
+		return nil, 0
+	}
+	start := seq + 1
+	if start < oldest {
+		missed = oldest - start
+		start = oldest
+	}
+	events = make([]Event, 0, b.total-start+1)
+	for s := start; s <= b.total; s++ {
+		events = append(events, b.buf[int((s-1)%uint64(len(b.buf)))])
+	}
+	return events, missed
+}
+
+// Events returns every retained event in sequence order.
+func (b *Bus) Events() []Event {
+	ev, _ := b.Since(0)
+	return ev
+}
+
+// OfType returns the retained events of the given type, in order.
+func (b *Bus) OfType(t Type) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}

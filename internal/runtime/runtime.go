@@ -18,6 +18,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/wire"
 )
 
@@ -51,6 +52,9 @@ type Env interface {
 	Logger() logging.Logger
 	// Metrics returns the shared experiment registry.
 	Metrics() *metrics.Registry
+	// Events returns the protocol event bus (never nil; shared across
+	// processes in simulations, per-host on TCP).
+	Events() *obs.Bus
 }
 
 // Node is a protocol instance: the simulator or transport calls Init
@@ -89,4 +93,44 @@ func Sign(env Env, m wire.Signed) {
 // Verify checks a signed message against its claimed signer.
 func Verify(env Env, m wire.Signed) error {
 	return env.Auth().Verify(m.Signer(), m.SigBytes(), m.Signature())
+}
+
+// Emit publishes a protocol event stamped with env's identity and
+// clock.
+func Emit(env Env, e obs.Event) {
+	e.Node = env.ID()
+	e.At = env.Now()
+	env.Events().Publish(e)
+}
+
+// Span measures one protocol phase against env's clock (virtual in
+// simulations, real on TCP), turning phase durations into histograms.
+type Span struct {
+	env   Env
+	name  string
+	start time.Duration
+}
+
+// StartSpan opens a phase timer; End records the elapsed duration, in
+// seconds, into the named histogram.
+func StartSpan(env Env, name string) Span {
+	return Span{env: env, name: name, start: env.Now()}
+}
+
+// End closes the span, observes the duration into the histogram named
+// at StartSpan, and returns it. A zero Span is a no-op.
+func (s Span) End() time.Duration {
+	if s.env == nil {
+		return 0
+	}
+	d := s.env.Now() - s.start
+	s.env.Metrics().Observe(s.name, d.Seconds())
+	return d
+}
+
+// SetNodeGauge sets the named gauge labeled with env's process
+// identity, so per-process gauges from different processes sharing one
+// registry (the simulator) stay distinguishable.
+func SetNodeGauge(env Env, name string, v float64) {
+	env.Metrics().SetGauge(name, v, metrics.L{Key: "node", Value: env.ID().String()})
 }

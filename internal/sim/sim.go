@@ -19,6 +19,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -89,6 +90,10 @@ type Options struct {
 	// Metrics receives message accounting; nil allocates a fresh
 	// registry.
 	Metrics *metrics.Registry
+	// Events receives typed protocol events from every simulated
+	// process (the Event.Node field distinguishes them); nil allocates
+	// a fresh bus with obs.DefaultCapacity.
+	Events *obs.Bus
 }
 
 // Network is the simulated system: the event queue, the clock, and one
@@ -104,6 +109,7 @@ type Network struct {
 	lastArr map[linkKey]time.Duration
 	rng     *rand.Rand
 	metrics *metrics.Registry
+	events  *obs.Bus
 	log     logging.Logger
 	steps   uint64
 }
@@ -127,6 +133,9 @@ func NewNetwork(cfg ids.Config, nodes map[ids.ProcessID]runtime.Node, opts Optio
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	if opts.Events == nil {
+		opts.Events = obs.NewBus(0)
+	}
 	n := &Network{
 		cfg:     cfg,
 		opts:    opts,
@@ -135,6 +144,7 @@ func NewNetwork(cfg ids.Config, nodes map[ids.ProcessID]runtime.Node, opts Optio
 		lastArr: make(map[linkKey]time.Duration),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		metrics: opts.Metrics,
+		events:  opts.Events,
 		log:     opts.Logger,
 	}
 	for _, p := range cfg.All() {
@@ -164,6 +174,9 @@ func (n *Network) Now() time.Duration { return n.now }
 
 // Metrics returns the run's registry.
 func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+// Events returns the run's protocol event bus.
+func (n *Network) Events() *obs.Bus { return n.events }
 
 // Env returns the environment of process p, letting tests and
 // experiments inject events as if they were local modules.
@@ -312,6 +325,7 @@ func (e *procEnv) Rand() *rand.Rand           { return e.rng }
 func (e *procEnv) Auth() crypto.Authenticator { return e.net.opts.Auth }
 func (e *procEnv) Logger() logging.Logger     { return e.log }
 func (e *procEnv) Metrics() *metrics.Registry { return e.net.metrics }
+func (e *procEnv) Events() *obs.Bus           { return e.net.events }
 
 func (e *procEnv) Send(to ids.ProcessID, m wire.Message) {
 	if !to.Valid(e.net.cfg.N) {

@@ -21,6 +21,7 @@ import (
 	"quorumselect/internal/graph"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -47,6 +48,7 @@ type Store struct {
 	epoch      uint64
 	suspecting ids.ProcSet
 	matrix     [][]uint64
+	nonzero    int // count of non-zero matrix cells (cells are monotone)
 
 	onChange func()
 	log      logging.Logger
@@ -119,9 +121,15 @@ func (s *Store) UpdateSuspicions(suspected ids.ProcSet) {
 	changed := false
 	for _, p := range suspected.Sorted() {
 		if s.matrix[self][s.idx(p)] != s.epoch {
+			if s.matrix[self][s.idx(p)] == 0 {
+				s.nonzero++
+			}
 			s.matrix[self][s.idx(p)] = s.epoch
 			changed = true
 		}
+	}
+	if changed {
+		s.updateSizeGauge()
 	}
 	up := &wire.Update{
 		Owner: s.env.ID(),
@@ -149,6 +157,8 @@ func (s *Store) AdvanceEpoch() {
 func (s *Store) IncrementEpoch() {
 	s.epoch++
 	s.env.Metrics().Inc("suspicion.epoch.advanced", 1)
+	runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(s.epoch))
+	runtime.Emit(s.env, obs.Event{Type: obs.TypeEpochAdvance, Epoch: s.epoch})
 	s.log.Logf(logging.LevelDebug, "suspicion: advancing to epoch %d", s.epoch)
 }
 
@@ -160,6 +170,7 @@ func (s *Store) IncrementEpoch() {
 func (s *Store) ObserveEpoch(e uint64) {
 	if e > s.epoch {
 		s.epoch = e
+		runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(s.epoch))
 	}
 }
 
@@ -174,17 +185,22 @@ func (s *Store) HandleUpdate(m *wire.Update) bool {
 		return false
 	}
 	row := s.matrix[s.idx(m.Owner)]
-	changed := false
+	changedCells := 0
 	for k := range row {
 		if m.Row[k] > row[k] {
+			if row[k] == 0 {
+				s.nonzero++
+			}
 			row[k] = m.Row[k]
-			changed = true
+			changedCells++
 		}
 	}
-	if !changed {
+	if changedCells == 0 {
 		return false
 	}
 	s.env.Metrics().Inc("suspicion.update.merged", 1)
+	s.env.Metrics().Observe("suspicion.merge.changed.cells", float64(changedCells))
+	s.updateSizeGauge()
 	if s.opts.Forward {
 		s.env.Metrics().Inc("suspicion.update.forwarded", 1)
 		runtime.Broadcast(s.env, m, false)
@@ -193,6 +209,12 @@ func (s *Store) HandleUpdate(m *wire.Update) bool {
 		s.onChange()
 	}
 	return true
+}
+
+// updateSizeGauge publishes the count of non-zero matrix cells — the
+// store's "size" (how much suspicion history this replica has absorbed).
+func (s *Store) updateSizeGauge() {
+	runtime.SetNodeGauge(s.env, "suspicion.store.size", float64(s.nonzero))
 }
 
 // SuspectGraph builds the suspect graph G of §VI-B for the current

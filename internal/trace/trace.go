@@ -37,22 +37,41 @@ func (e Event) String() string {
 	return fmt.Sprintf("%10s %-5s %s", e.At, e.Level, e.Message)
 }
 
-// Recorder captures events up to a maximum level. It is safe for
-// concurrent use (the TCP transport logs from multiple goroutines).
+// DefaultCapacity is the ring size used by NewRecorder: ample for test
+// assertions and CLI timelines while bounding memory on long or chatty
+// runs (each captured line is retained, so unbounded growth was easy to
+// hit with Debug-level capture).
+const DefaultCapacity = 65536
+
+// Recorder captures events up to a maximum level into a bounded ring;
+// once full, the oldest events are evicted and counted in Dropped. It
+// is safe for concurrent use (the TCP transport logs from multiple
+// goroutines).
 type Recorder struct {
 	clock Clock
 	max   logging.Level
 
-	mu     sync.Mutex
-	events []Event
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever captured
 }
 
 var _ logging.Logger = (*Recorder)(nil)
 
 // NewRecorder returns a recorder timestamping with clock (nil clock
-// records zero timestamps) and capturing lines at or below max.
+// records zero timestamps) and capturing lines at or below max, bounded
+// at DefaultCapacity events.
 func NewRecorder(clock Clock, max logging.Level) *Recorder {
-	return &Recorder{clock: clock, max: max}
+	return NewBounded(clock, max, DefaultCapacity)
+}
+
+// NewBounded returns a recorder retaining up to capacity events
+// (capacity <= 0 selects DefaultCapacity).
+func NewBounded(clock Clock, max logging.Level, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{clock: clock, max: max, buf: make([]Event, capacity)}
 }
 
 // Logf implements logging.Logger.
@@ -64,16 +83,33 @@ func (r *Recorder) Logf(level logging.Level, format string, args ...any) {
 	if r.clock != nil {
 		at = r.clock()
 	}
+	e := Event{At: at, Level: level, Message: fmt.Sprintf(format, args...)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = append(r.events, Event{At: at, Level: level, Message: fmt.Sprintf(format, args...)})
+	r.buf[int(r.total%uint64(len(r.buf)))] = e
+	r.total++
 }
 
-// Len returns the number of captured events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return int(r.retained())
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - r.retained()
+}
+
+// retained returns the number of events still in the ring (mu held).
+func (r *Recorder) retained() uint64 {
+	if r.total < uint64(len(r.buf)) {
+		return r.total
+	}
+	return uint64(len(r.buf))
 }
 
 // Filter selects events.
@@ -104,13 +140,15 @@ func (f Filter) match(e Event) bool {
 	return true
 }
 
-// Events returns a copy of the matching events, in capture order
-// (which, under the deterministic simulator, is causal order).
+// Events returns a copy of the matching retained events, in capture
+// order (which, under the deterministic simulator, is causal order).
 func (r *Recorder) Events(f Filter) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Event
-	for _, e := range r.events {
+	n := r.retained()
+	for i := r.total - n; i < r.total; i++ {
+		e := r.buf[int(i%uint64(len(r.buf)))]
 		if f.match(e) {
 			out = append(out, e)
 		}

@@ -1,7 +1,9 @@
 package trace_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -57,6 +59,59 @@ func TestRecorderFilters(t *testing.T) {
 	tl := rec.Timeline(trace.Filter{Contains: "boom"})
 	if !strings.Contains(tl, "ERROR") || !strings.Contains(tl, "boom") {
 		t.Errorf("Timeline = %q", tl)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := trace.NewBounded(nil, logging.LevelDebug, 4)
+	for i := 1; i <= 10; i++ {
+		rec.Logf(logging.LevelInfo, "line %d", i)
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", rec.Len())
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", rec.Dropped())
+	}
+	events := rec.Events(trace.Filter{})
+	if len(events) != 4 || events[0].Message != "line 7" || events[3].Message != "line 10" {
+		t.Fatalf("retained events = %v", events)
+	}
+}
+
+func TestRecorderBoundedDefaultCapacity(t *testing.T) {
+	rec := trace.NewBounded(nil, logging.LevelDebug, 0)
+	rec.Logf(logging.LevelInfo, "one")
+	if rec.Len() != 1 || rec.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", rec.Len(), rec.Dropped())
+	}
+}
+
+// TestRecorderConcurrency hammers Logf/Events/Len/Dropped from multiple
+// goroutines; meaningful under -race.
+func TestRecorderConcurrency(t *testing.T) {
+	rec := trace.NewBounded(nil, logging.LevelDebug, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				rec.Logf(logging.LevelInfo, "g%d line %d", g, i)
+				if i%100 == 0 {
+					_ = rec.Events(trace.Filter{Contains: fmt.Sprintf("g%d", g)})
+					_ = rec.Len()
+					_ = rec.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rec.Len() != 128 {
+		t.Fatalf("Len = %d, want 128", rec.Len())
+	}
+	if rec.Dropped() != 8*500-128 {
+		t.Fatalf("Dropped = %d, want %d", rec.Dropped(), 8*500-128)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -61,6 +62,9 @@ type Config struct {
 	Logger logging.Logger
 	// Metrics receives accounting (default: fresh registry).
 	Metrics *metrics.Registry
+	// Events receives typed protocol events (default: fresh bus with
+	// obs.DefaultCapacity).
+	Events *obs.Bus
 	// Seed drives the Env's randomness (default 1).
 	Seed int64
 }
@@ -95,6 +99,9 @@ func NewHost(cfg Config, node runtime.Node) (*Host, error) {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Events == nil {
+		cfg.Events = obs.NewBus(0)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -144,6 +151,12 @@ func NewHost(cfg Config, node runtime.Node) (*Host, error) {
 
 // Addr returns the listener's address (useful with ephemeral ports).
 func (h *Host) Addr() string { return h.listener.Addr().String() }
+
+// Metrics returns the host's registry (for /metrics frontends).
+func (h *Host) Metrics() *metrics.Registry { return h.cfg.Metrics }
+
+// Events returns the host's protocol event bus (for /events frontends).
+func (h *Host) Events() *obs.Bus { return h.cfg.Events }
 
 // SetPeerAddr records or updates a peer's address.
 func (h *Host) SetPeerAddr(p ids.ProcessID, addr string) {
@@ -257,6 +270,9 @@ func (h *Host) readLoop(conn net.Conn) {
 			continue
 		}
 		h.cfg.Metrics.Inc("transport.received", 1)
+		kind := metrics.L{Key: "type", Value: msg.Kind().String()}
+		h.cfg.Metrics.IncLabeled("transport.messages.total", 1, kind, metrics.L{Key: "dir", Value: "recv"})
+		h.cfg.Metrics.IncLabeled("transport.bytes.total", int64(n), kind, metrics.L{Key: "dir", Value: "recv"})
 		select {
 		case h.events <- func() { h.node.Receive(from, msg) }:
 		case <-h.done:
@@ -293,7 +309,11 @@ func (h *Host) send(to ids.ProcessID, m wire.Message) {
 	}
 	h.mu.Unlock()
 	h.cfg.Metrics.Inc("transport.sent", 1)
-	w.enqueue(wire.Encode(m))
+	frame := wire.Encode(m)
+	kind := metrics.L{Key: "type", Value: m.Kind().String()}
+	h.cfg.Metrics.IncLabeled("transport.messages.total", 1, kind, metrics.L{Key: "dir", Value: "sent"})
+	h.cfg.Metrics.IncLabeled("transport.bytes.total", int64(len(frame)), kind, metrics.L{Key: "dir", Value: "sent"})
+	w.enqueue(frame)
 }
 
 // peerAddr resolves a peer's current address.
@@ -330,6 +350,8 @@ func (w *peerWriter) enqueue(frame []byte) {
 		return
 	}
 	w.queue = append(w.queue, frame)
+	w.h.cfg.Metrics.AddGauge("transport.sendq.depth", 1,
+		metrics.L{Key: "node", Value: w.h.cfg.Self.String()})
 	w.mu.Unlock()
 	select {
 	case w.wake <- struct{}{}:
@@ -408,6 +430,8 @@ func (w *peerWriter) pop() ([]byte, bool) {
 	}
 	frame := w.queue[0]
 	w.queue = w.queue[1:]
+	w.h.cfg.Metrics.AddGauge("transport.sendq.depth", -1,
+		metrics.L{Key: "node", Value: w.h.cfg.Self.String()})
 	return frame, true
 }
 
@@ -459,6 +483,7 @@ func (e *hostEnv) Rand() *rand.Rand           { return e.rng }
 func (e *hostEnv) Auth() crypto.Authenticator { return e.h.cfg.Auth }
 func (e *hostEnv) Logger() logging.Logger     { return e.log }
 func (e *hostEnv) Metrics() *metrics.Registry { return e.h.cfg.Metrics }
+func (e *hostEnv) Events() *obs.Bus           { return e.h.cfg.Events }
 
 func (e *hostEnv) Send(to ids.ProcessID, m wire.Message) {
 	if !to.Valid(e.h.cfg.System.N) {

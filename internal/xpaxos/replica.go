@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/fd"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -100,6 +102,13 @@ type Replica struct {
 	executions  []Execution
 	viewChanges int
 	ckpt        checkpoint
+
+	// slotStart records when each slot's prepare was first accepted
+	// locally, feeding the commit-latency histogram.
+	slotStart map[uint64]time.Duration
+	// vcStart records when the in-progress view change began, feeding
+	// the view-change-duration histogram.
+	vcStart time.Duration
 }
 
 // NewReplica creates an XPaxos replica.
@@ -117,6 +126,7 @@ func NewReplica(opts Options) *Replica {
 		committedReq: make(map[uint64]*wire.Request),
 		clientTable:  make(map[uint64]uint64),
 		vcVotes:      make(map[uint64]map[ids.ProcessID]*wire.ViewChange),
+		slotStart:    make(map[uint64]time.Duration),
 	}
 }
 
@@ -130,6 +140,7 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.view = 0
 	r.active = r.enumeration[0]
 	r.nextSlot = 1
+	runtime.SetNodeGauge(r.env, "xpaxos.view", 0)
 }
 
 // View returns the current view number.
@@ -274,6 +285,9 @@ func (r *Replica) onPrepare(p *wire.Prepare) {
 // sends this replica's COMMIT.
 func (r *Replica) acceptPrepare(p *wire.Prepare) {
 	e := r.entry(p.Slot)
+	if _, ok := r.slotStart[p.Slot]; !ok {
+		r.slotStart[p.Slot] = r.env.Now()
+	}
 	e.prep = p
 	e.adopted = false
 	r.accepted[p.Slot] = p
@@ -390,6 +404,11 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 	req := e.prep.Req
 	r.committedReq[slot] = &req
 	r.env.Metrics().Inc("xpaxos.committed", 1)
+	if start, ok := r.slotStart[slot]; ok {
+		r.env.Metrics().Observe("xpaxos.commit.latency.seconds",
+			(r.env.Now() - start).Seconds())
+		delete(r.slotStart, slot)
+	}
 	// Lazy replication (XPaxos keeps passive replicas "lazily
 	// updated"): the leader ships the self-certifying commit
 	// certificate to the processes outside the active quorum.
@@ -472,6 +491,7 @@ func (r *Replica) execute() {
 		}
 		r.executions = append(r.executions, exec)
 		r.env.Metrics().Inc("xpaxos.executed", 1)
+		runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", float64(r.lastExec-r.ckpt.Slot))
 		if r.opts.OnExecute != nil {
 			r.opts.OnExecute(exec)
 		}
@@ -505,6 +525,8 @@ func (r *Replica) takeCheckpoint() {
 	data := b.Bytes()
 	r.ckpt = checkpoint{Slot: r.lastExec, Snapshot: data, Digest: crypto.Digest(data)}
 	r.env.Metrics().Inc("xpaxos.checkpoint.taken", 1)
+	runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", 0)
+	runtime.Emit(r.env, obs.Event{Type: obs.TypeCheckpoint, View: r.view, Slot: r.lastExec})
 	r.gcBelow(r.lastExec)
 }
 
@@ -543,6 +565,7 @@ func (r *Replica) restoreCheckpoint(slot uint64, data []byte) error {
 	r.lastExec = slot
 	r.ckpt = checkpoint{Slot: slot, Snapshot: data, Digest: crypto.Digest(data)}
 	r.env.Metrics().Inc("xpaxos.checkpoint.restored", 1)
+	runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", 0)
 	r.gcBelow(slot)
 	return nil
 }
@@ -562,6 +585,11 @@ func (r *Replica) gcBelow(slot uint64) {
 	for s, e := range r.entries {
 		if s <= slot && e.committed {
 			delete(r.entries, s)
+		}
+	}
+	for s := range r.slotStart {
+		if s <= slot {
+			delete(r.slotStart, s)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -64,11 +65,19 @@ func (r *Replica) startViewChange(v uint64) {
 	if v <= r.view {
 		return
 	}
+	// A view change in progress that jumps to a higher view keeps its
+	// original start: the duration covers the whole outage.
+	if !r.changing {
+		r.vcStart = r.env.Now()
+	}
 	r.view = v
 	r.active = r.quorumAt(v)
 	r.changing = true
 	r.viewChanges++
 	r.env.Metrics().Inc("xpaxos.viewchange", 1)
+	runtime.SetNodeGauge(r.env, "xpaxos.view", float64(v))
+	runtime.Emit(r.env, obs.Event{Type: obs.TypeViewChangeStart, View: v,
+		Detail: r.active.String()})
 	r.log.Logf(logging.LevelDebug, "xpaxos: view change to %d, quorum %s", v, r.active)
 	r.detector.CancelScope(Scope)
 	// Reset per-view round state; the accepted log survives. Messages
@@ -247,6 +256,10 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 		return
 	}
 	r.changing = false
+	r.env.Metrics().Observe("xpaxos.viewchange.duration.seconds",
+		(r.env.Now() - r.vcStart).Seconds())
+	runtime.Emit(r.env, obs.Event{Type: obs.TypeViewChangeEnd, View: nv.ViewNum,
+		Detail: r.active.String()})
 	// Catch up from the stable checkpoint if it is ahead of local
 	// execution. (The snapshot is taken from the leader's NEW-VIEW; the
 	// leader justified it with f+1 matching VIEW-CHANGE digests. A

@@ -7,6 +7,7 @@ import (
 
 	"quorumselect/internal/core"
 	"quorumselect/internal/ids"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
 	"quorumselect/internal/wire"
@@ -252,6 +253,21 @@ func TestCrashedQuorumMemberReplaced(t *testing.T) {
 	}
 	if string(a[0].Op) != "set x crash-test" {
 		t.Errorf("executed op = %q", a[0].Op)
+	}
+	// The recovery is observable: the view change and the commit both
+	// left latency samples, and the bus carries the phase transitions.
+	reg := fx.net.Metrics()
+	if h, ok := reg.Hist("xpaxos.viewchange.duration.seconds"); !ok || h.Count == 0 {
+		t.Error("xpaxos.viewchange.duration.seconds histogram empty after a view change")
+	} else if p50 := h.Percentile(50); p50 <= 0 {
+		t.Errorf("view-change duration p50 = %v, want positive", p50)
+	}
+	if h, ok := reg.Hist("xpaxos.commit.latency.seconds"); !ok || h.Count == 0 {
+		t.Error("xpaxos.commit.latency.seconds histogram empty after a commit")
+	}
+	bus := fx.net.Events()
+	if len(bus.OfType(obs.TypeViewChangeStart)) == 0 || len(bus.OfType(obs.TypeViewChangeEnd)) == 0 {
+		t.Error("missing VIEW_CHANGE_START/VIEW_CHANGE_END events")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
 	"quorumselect/internal/suspicion"
@@ -81,9 +82,20 @@ type (
 	RuntimeNode = runtime.Node
 	// Logger is the leveled logger protocol code writes to.
 	Logger = logging.Logger
-	// Registry collects counters for experiments.
+	// Registry collects counters, gauges and histograms for
+	// experiments and the /metrics endpoint.
 	Registry = metrics.Registry
+	// EventBus is the bounded ring of typed protocol events.
+	EventBus = obs.Bus
+	// Event is one structured protocol event (EXPECT, SUSPECTED, ...).
+	Event = obs.Event
+	// EventType classifies protocol events.
+	EventType = obs.Type
 )
+
+// NewEventBus returns an event bus retaining up to capacity events
+// (capacity <= 0 selects the default, obs.DefaultCapacity).
+func NewEventBus(capacity int) *EventBus { return obs.NewBus(capacity) }
 
 // NewConfig validates and returns a system configuration; it enforces
 // the paper's n − f > f assumption.
@@ -201,6 +213,9 @@ func (c *Cluster) Now() time.Duration { return c.net.Now() }
 // Metrics returns the cluster's counter registry.
 func (c *Cluster) Metrics() *Registry { return c.net.Metrics() }
 
+// Events returns the cluster's protocol event bus.
+func (c *Cluster) Events() *EventBus { return c.net.Events() }
+
 // Agreed reports whether every node currently holds the same quorum,
 // and returns it.
 func (c *Cluster) Agreed() (Quorum, bool) {
@@ -258,6 +273,9 @@ func (s *Simulation) Now() time.Duration { return s.net.Now() }
 
 // Metrics returns the run's counter registry.
 func (s *Simulation) Metrics() *Registry { return s.net.Metrics() }
+
+// Events returns the run's protocol event bus.
+func (s *Simulation) Events() *EventBus { return s.net.Events() }
 
 // FollowerCluster is a simulated Follower Selection deployment.
 type FollowerCluster struct {
