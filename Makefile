@@ -1,6 +1,11 @@
 GO ?= go
+SHELL = /bin/bash
+# Per-benchmark measuring time for `make bench`. 100ms keeps the full
+# sweep (experiments + micro-benchmarks) around a minute; raise it for
+# lower-variance numbers.
+BENCHTIME ?= 100ms
 
-.PHONY: all build test race vet check clean golden
+.PHONY: all build test race vet check clean golden bench
 
 all: build
 
@@ -21,6 +26,12 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# bench runs every benchmark with allocation stats and writes the
+# machine-readable report BENCH_PR2.json (see cmd/benchjson).
+bench:
+	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 # golden regenerates the Prometheus exposition golden file after an
 # intentional format change.

@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report. Every benchmark line becomes a
+// name → {ns/op, B/op, allocs/op, custom metrics} entry, and the
+// suspect-graph build-vs-cached pairs are summarised as derived
+// speedup/allocation ratios. Input lines are echoed to stdout so the
+// command can sit at the end of a pipe without hiding the run:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_PR2.json document.
+type Report struct {
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON file")
+	flag.Parse()
+
+	rep := Report{Derived: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	deriveGraphRatios(&rep)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses a line of the form
+//
+//	BenchmarkName/sub-8   1909   71894 ns/op   14784 B/op   3 allocs/op   12.0 custom/unit
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the trailing -GOMAXPROCS suffix, when present.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// deriveGraphRatios records, for every size n present in both the
+// rebuild baseline and the cached benchmark, how much the incremental
+// suspect-graph cache saves per query.
+func deriveGraphRatios(rep *Report) {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	var sizes []string
+	for name := range byName {
+		if strings.HasPrefix(name, "BenchmarkSuspectGraphBuild/") {
+			sizes = append(sizes, strings.TrimPrefix(name, "BenchmarkSuspectGraphBuild/"))
+		}
+	}
+	sort.Strings(sizes)
+	for _, sz := range sizes {
+		build, ok1 := byName["BenchmarkSuspectGraphBuild/"+sz]
+		cached, ok2 := byName["BenchmarkSuspectGraphCached/"+sz]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if c := cached.Metrics["ns/op"]; c > 0 {
+			rep.Derived["suspect_graph.speedup."+sz] = build.Metrics["ns/op"] / c
+		}
+		rep.Derived["suspect_graph.allocs_saved_per_op."+sz] =
+			build.Metrics["allocs/op"] - cached.Metrics["allocs/op"]
+		// Allocation ratio with the cached side clamped to 1 so the
+		// steady-state zero-alloc cache yields a finite number: the
+		// baseline's allocs/op is then a lower bound on the ratio.
+		c := cached.Metrics["allocs/op"]
+		if c < 1 {
+			c = 1
+		}
+		rep.Derived["suspect_graph.allocs_ratio_min."+sz] = build.Metrics["allocs/op"] / c
+	}
+}

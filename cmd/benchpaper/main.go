@@ -48,7 +48,9 @@ func main() {
 		{"E9", experiments.E9LineSubgraphs},
 		{"E10", experiments.E10Ablations},
 		{"E11", func() experiments.Table { return experiments.E11Tendermint(*requests) }},
-		{"E12", func() experiments.Table { return experiments.E12Scalability([]int{4, 7, 10, 16, 22, 31}) }},
+		{"E12", func() experiments.Table {
+			return experiments.E12Scalability([]int{4, 7, 10, 16, 22, 31, 64, 128, 256})
+		}},
 		{"E13", func() experiments.Table { return experiments.E13FollowerScalability(*maxF + 2) }},
 	}
 	ran := 0

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -75,6 +77,55 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	for i := 1; i < len(events); i++ {
 		if events[i].Seq != events[i-1].Seq+1 {
 			t.Fatalf("event seq gap: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestPerfCountersExposed checks the hot-path instrumentation added
+// with the incremental suspect-graph cache: selector memoization
+// hit/miss counters, the explicit-rebuild counter, and the graph.n
+// gauge — and that all of them survive into the Prometheus exposition.
+func TestPerfCountersExposed(t *testing.T) {
+	fx := newFixture(t, 4, 1, quietOpts(), sim.Options{}, ids.NewProcSet())
+	fx.net.Run(100 * time.Millisecond)
+	n1 := fx.nodes[1]
+	n1.Selector.OnSuspected(ids.NewProcSet(2))
+	fx.net.Run(fx.net.Now() + time.Second)
+	// Same graph version, same q: a second evaluation must hit the memo.
+	n1.Selector.UpdateQuorum()
+
+	reg := fx.net.Metrics()
+	if reg.Counter("selector.iset.cache_misses") == 0 {
+		t.Error("selector.iset.cache_misses never incremented")
+	}
+	if reg.Counter("selector.iset.cache_hits") == 0 {
+		t.Error("selector.iset.cache_hits never incremented")
+	}
+	if reg.Counter("suspicion.graph.rebuilds") != 0 {
+		t.Errorf("suspicion.graph.rebuilds = %d without any explicit rebuild",
+			reg.Counter("suspicion.graph.rebuilds"))
+	}
+	n1.Store.RebuildSuspectGraphAt(1)
+	if reg.Counter("suspicion.graph.rebuilds") != 1 {
+		t.Errorf("suspicion.graph.rebuilds = %d, want 1", reg.Counter("suspicion.graph.rebuilds"))
+	}
+	if v := reg.Gauge("graph.n", metrics.L{Key: "node", Value: "p1"}); v != 4 {
+		t.Errorf("graph.n{node=p1} = %v, want 4", v)
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatalf("prometheus exposition failed: %v", err)
+	}
+	body := buf.String()
+	for _, name := range []string{
+		"selector.iset.cache_hits",
+		"selector.iset.cache_misses",
+		"suspicion.graph.rebuilds",
+		"graph.n",
+	} {
+		if !strings.Contains(body, metrics.SanitizeName(name)) {
+			t.Errorf("/metrics exposition missing %s (as %s)", name, metrics.SanitizeName(name))
 		}
 	}
 }

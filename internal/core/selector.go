@@ -58,6 +58,16 @@ type Selector struct {
 	issuedTotal   int
 	issuedInEpoch map[uint64]int
 
+	// Memoized FirstIndependentSet result, keyed by the store's graph
+	// version and the requested quorum size: onChange fires on every
+	// merged UPDATE, but the suspect graph (and hence the set) only
+	// changes when an edge does.
+	isetVersion uint64
+	isetQ       int
+	isetSet     []ids.ProcessID
+	isetOK      bool
+	isetValid   bool
+
 	// updating guards against re-entry: AdvanceEpoch re-stamps the
 	// current suspicions, which fires the store's onChange hook, which
 	// is wired back to UpdateQuorum.
@@ -126,8 +136,7 @@ func (s *Selector) UpdateQuorum() {
 	// the graph stops shrinking.
 	startMax := s.store.MaxEpochSeen()
 	for {
-		g := s.store.SuspectGraph()
-		set, ok := g.FirstIndependentSet(q)
+		set, ok := s.firstIndependentSet(q)
 		if !ok {
 			if s.store.Epoch() > startMax {
 				// Even the local process's own current suspicions
@@ -159,4 +168,21 @@ func (s *Selector) UpdateQuorum() {
 		}
 		return
 	}
+}
+
+// firstIndependentSet returns the lexicographically-first independent
+// set of size q in the current suspect graph, memoized per
+// (graph-version, q) so UPDATE storms that do not change the graph's
+// edge set skip the exponential search entirely.
+func (s *Selector) firstIndependentSet(q int) ([]ids.ProcessID, bool) {
+	ver := s.store.GraphVersion()
+	if s.isetValid && s.isetVersion == ver && s.isetQ == q {
+		s.env.Metrics().Inc("selector.iset.cache_hits", 1)
+		return s.isetSet, s.isetOK
+	}
+	s.env.Metrics().Inc("selector.iset.cache_misses", 1)
+	g := s.store.SuspectGraph()
+	set, ok := g.FirstIndependentSet(q)
+	s.isetVersion, s.isetQ, s.isetSet, s.isetOK, s.isetValid = ver, q, set, ok, true
+	return set, ok
 }

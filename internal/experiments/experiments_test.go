@@ -195,8 +195,10 @@ func TestE11TendermintIntegration(t *testing.T) {
 }
 
 func TestE12Scalability(t *testing.T) {
-	tbl := E12Scalability([]int{4, 7})
-	if len(tbl.Rows) != 2 {
+	// n=64 exceeds the former 64-bit adjacency limit; the multi-word
+	// graph makes the consortium sizes of §VI-C first-class.
+	tbl := E12Scalability([]int{4, 7, 64})
+	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	for _, row := range tbl.Rows {

@@ -56,6 +56,16 @@ type Selector struct {
 	issuedTotal   int
 	issuedInEpoch map[uint64]int
 	updating      bool
+
+	// Memoized per-graph-version results: onChange fires on every
+	// merged UPDATE, but the independent-set check and the maximal
+	// line subgraph only change when the suspect graph's edges do.
+	isetVersion uint64
+	isetQ       int
+	isetOK      bool
+	isetValid   bool
+	lineVersion uint64
+	lineCached  *graph.LineSubgraph
 }
 
 // NewSelector creates a Follower Selection module. The configuration
@@ -119,7 +129,7 @@ func (s *Selector) UpdateQuorum() {
 	startMax := s.store.MaxEpochSeen()
 	for {
 		g := s.store.SuspectGraph()
-		if !g.HasIndependentSet(q) {
+		if !s.hasIndependentSet(g, q) {
 			if s.store.Epoch() > startMax {
 				s.log.Logf(logging.LevelError,
 					"follower: own suspicions %s preclude any quorum of size %d; keeping %s",
@@ -137,7 +147,7 @@ func (s *Selector) UpdateQuorum() {
 		}
 
 		// Lines 17–26: leader from the maximal line subgraph.
-		l := graph.MaximalLineSubgraph(g)
+		l := s.maximalLineSubgraph(g)
 		newLeader := l.Leader()
 		if newLeader == s.leader {
 			return // line 18: no leader change, no new quorum
@@ -172,6 +182,34 @@ func (s *Selector) UpdateQuorum() {
 		runtime.Broadcast(s.env, msg, true)
 		return
 	}
+}
+
+// hasIndependentSet memoizes g.HasIndependentSet(q) per
+// (graph-version, q).
+func (s *Selector) hasIndependentSet(g *graph.Graph, q int) bool {
+	ver := s.store.GraphVersion()
+	if s.isetValid && s.isetVersion == ver && s.isetQ == q {
+		s.env.Metrics().Inc("selector.iset.cache_hits", 1)
+		return s.isetOK
+	}
+	s.env.Metrics().Inc("selector.iset.cache_misses", 1)
+	s.isetOK = g.HasIndependentSet(q)
+	s.isetVersion, s.isetQ, s.isetValid = ver, q, true
+	return s.isetOK
+}
+
+// maximalLineSubgraph memoizes graph.MaximalLineSubgraph(g) per graph
+// version. The witness is handed out read-only.
+func (s *Selector) maximalLineSubgraph(g *graph.Graph) *graph.LineSubgraph {
+	ver := s.store.GraphVersion()
+	if s.lineCached != nil && s.lineVersion == ver {
+		s.env.Metrics().Inc("selector.line.cache_hits", 1)
+		return s.lineCached
+	}
+	s.env.Metrics().Inc("selector.line.cache_misses", 1)
+	s.lineCached = graph.MaximalLineSubgraph(g)
+	s.lineVersion = ver
+	return s.lineCached
 }
 
 // expectFollowersFrom issues the ⟨EXPECT, P_{Fw,epoch}, leader⟩ of

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// bitset is a little-endian multi-word bit vector: bit i lives in word
+// i/64 at position i%64. All kernels assume operands of equal length;
+// they are the inner loops of every graph algorithm in this package and
+// must stay branch-light and allocation-free.
+type bitset []uint64
+
+// wordsFor returns the number of 64-bit words needed for n bits.
+func wordsFor(n int) int { return (n + 63) >> 6 }
+
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// zero clears every bit.
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// copyFrom overwrites b with o.
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+// orWith sets b |= o.
+func (b bitset) orWith(o bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// andWith sets b &= o.
+func (b bitset) andWith(o bitset) {
+	for i, w := range o {
+		b[i] &= w
+	}
+}
+
+// andNotWith sets b &^= o.
+func (b bitset) andNotWith(o bitset) {
+	for i, w := range o {
+		b[i] &^= w
+	}
+}
+
+// intersects reports whether b & o has any bit set.
+func (b bitset) intersects(o bitset) bool {
+	for i, w := range o {
+		if b[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyAndNot reports whether b &^ o has any bit set.
+func (b bitset) anyAndNot(o bitset) bool {
+	for i, w := range o {
+		if b[i]&^w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// onesCount returns the number of set bits.
+func (b bitset) onesCount() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// equal reports whether b and o hold identical bits.
+func (b bitset) equal(o bitset) bool {
+	for i, w := range o {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// nextSetBit returns the index of the first set bit ≥ from, or n if
+// none exists below n.
+func (b bitset) nextSetBit(from, n int) int {
+	if from >= n {
+		return n
+	}
+	w := from >> 6
+	word := b[w] >> uint(from&63)
+	if word != 0 {
+		i := from + bits.TrailingZeros64(word)
+		if i < n {
+			return i
+		}
+		return n
+	}
+	for w++; w < len(b); w++ {
+		if b[w] != 0 {
+			i := w<<6 + bits.TrailingZeros64(b[w])
+			if i < n {
+				return i
+			}
+			return n
+		}
+	}
+	return n
+}
+
+// nextClearBit returns the index of the first clear bit ≥ from, or n if
+// none exists below n.
+func (b bitset) nextClearBit(from, n int) int {
+	if from >= n {
+		return n
+	}
+	w := from >> 6
+	word := ^b[w] >> uint(from&63)
+	if word != 0 {
+		i := from + bits.TrailingZeros64(word)
+		if i < n {
+			return i
+		}
+		return n
+	}
+	for w++; w < len(b); w++ {
+		if ^b[w] != 0 {
+			i := w<<6 + bits.TrailingZeros64(^b[w])
+			if i < n {
+				return i
+			}
+			return n
+		}
+	}
+	return n
+}
+
+// scratchPool recycles the word buffers the subset searches use for
+// their per-depth conflict sets, keeping the exhaustive inner loops
+// allocation-free across calls.
+var scratchPool = sync.Pool{
+	New: func() any {
+		s := make([]uint64, 0, 256)
+		return &s
+	},
+}
+
+// getScratch returns a zeroed word buffer of at least size words.
+func getScratch(size int) *[]uint64 {
+	p := scratchPool.Get().(*[]uint64)
+	if cap(*p) < size {
+		*p = make([]uint64, size)
+	}
+	*p = (*p)[:size]
+	for i := range *p {
+		(*p)[i] = 0
+	}
+	return p
+}
+
+func putScratch(p *[]uint64) { scratchPool.Put(p) }

@@ -10,6 +10,10 @@
 // branch-and-bound is entirely adequate for consortium-scale n, and it
 // is the only way to guarantee the deterministic lexicographic choice
 // the algorithms rely on for agreement.
+//
+// Adjacency rows are multi-word bitsets (see bitset.go), so graphs
+// scale to MaxNodes = 1024 processes while the branch-and-bound inner
+// loops stay word-parallel and allocation-free.
 package graph
 
 import (
@@ -20,8 +24,9 @@ import (
 	"quorumselect/internal/ids"
 )
 
-// MaxNodes bounds graph sizes; adjacency rows are 64-bit sets.
-const MaxNodes = 64
+// MaxNodes bounds graph sizes; adjacency rows are multi-word bitsets,
+// so the bound is a sanity limit rather than a representation limit.
+const MaxNodes = 1024
 
 // Edge is an undirected edge between two processes. By convention the
 // stored form has U < V; Normalize enforces it.
@@ -43,8 +48,10 @@ func (e Edge) String() string { return fmt.Sprintf("(%s,%s)", e.U, e.V) }
 // Graph is a simple undirected graph on the processes {p_1, ..., p_n}.
 // The zero value is unusable; construct with New.
 type Graph struct {
-	n   int
-	adj []uint64 // adj[i] is the neighbor bitset of p_{i+1}
+	n     int
+	words int
+	adj   []bitset // adj[i] is the neighbor bitset of p_{i+1}
+	back  []uint64 // flat backing array for all rows (one allocation)
 }
 
 // New returns an empty graph on n nodes. It panics if n is outside
@@ -53,7 +60,13 @@ func New(n int) *Graph {
 	if n <= 0 || n > MaxNodes {
 		panic(fmt.Sprintf("graph: node count %d outside (0,%d]", n, MaxNodes))
 	}
-	return &Graph{n: n, adj: make([]uint64, n)}
+	words := wordsFor(n)
+	back := make([]uint64, n*words)
+	adj := make([]bitset, n)
+	for i := range adj {
+		adj[i] = back[i*words : (i+1)*words]
+	}
+	return &Graph{n: n, words: words, adj: adj, back: back}
 }
 
 // N returns the number of nodes.
@@ -66,6 +79,10 @@ func (g *Graph) check(p ids.ProcessID) int {
 	return int(p) - 1
 }
 
+// row exposes the raw adjacency bitset of node index i to package
+// siblings (line.go); callers must not mutate it.
+func (g *Graph) row(i int) bitset { return g.adj[i] }
+
 // AddEdge inserts the undirected edge {u, v}. Self-loops are ignored
 // (a process suspecting itself carries no information for selection).
 func (g *Graph) AddEdge(u, v ids.ProcessID) {
@@ -73,8 +90,8 @@ func (g *Graph) AddEdge(u, v ids.ProcessID) {
 		return
 	}
 	ui, vi := g.check(u), g.check(v)
-	g.adj[ui] |= 1 << uint(vi)
-	g.adj[vi] |= 1 << uint(ui)
+	g.adj[ui].set(vi)
+	g.adj[vi].set(ui)
 }
 
 // RemoveEdge deletes the undirected edge {u, v} if present.
@@ -83,8 +100,8 @@ func (g *Graph) RemoveEdge(u, v ids.ProcessID) {
 		return
 	}
 	ui, vi := g.check(u), g.check(v)
-	g.adj[ui] &^= 1 << uint(vi)
-	g.adj[vi] &^= 1 << uint(ui)
+	g.adj[ui].clear(vi)
+	g.adj[vi].clear(ui)
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -93,22 +110,20 @@ func (g *Graph) HasEdge(u, v ids.ProcessID) bool {
 		return false
 	}
 	ui, vi := g.check(u), g.check(v)
-	return g.adj[ui]&(1<<uint(vi)) != 0
+	return g.adj[ui].test(vi)
 }
 
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u ids.ProcessID) int {
-	return popcount(g.adj[g.check(u)])
+	return g.adj[g.check(u)].onesCount()
 }
 
 // Neighbors returns the sorted neighbors of u.
 func (g *Graph) Neighbors(u ids.ProcessID) []ids.ProcessID {
 	row := g.adj[g.check(u)]
 	var out []ids.ProcessID
-	for i := 0; i < g.n; i++ {
-		if row&(1<<uint(i)) != 0 {
-			out = append(out, ids.ProcessID(i+1))
-		}
+	for i := row.nextSetBit(0, g.n); i < g.n; i = row.nextSetBit(i+1, g.n) {
+		out = append(out, ids.ProcessID(i+1))
 	}
 	return out
 }
@@ -117,10 +132,9 @@ func (g *Graph) Neighbors(u ids.ProcessID) []ids.ProcessID {
 func (g *Graph) Edges() []Edge {
 	var out []Edge
 	for i := 0; i < g.n; i++ {
-		for j := i + 1; j < g.n; j++ {
-			if g.adj[i]&(1<<uint(j)) != 0 {
-				out = append(out, Edge{U: ids.ProcessID(i + 1), V: ids.ProcessID(j + 1)})
-			}
+		row := g.adj[i]
+		for j := row.nextSetBit(i+1, g.n); j < g.n; j = row.nextSetBit(j+1, g.n) {
+			out = append(out, Edge{U: ids.ProcessID(i + 1), V: ids.ProcessID(j + 1)})
 		}
 	}
 	return out
@@ -130,7 +144,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) EdgeCount() int {
 	total := 0
 	for _, row := range g.adj {
-		total += popcount(row)
+		total += row.onesCount()
 	}
 	return total / 2
 }
@@ -138,7 +152,7 @@ func (g *Graph) EdgeCount() int {
 // Clone returns an independent copy of the graph.
 func (g *Graph) Clone() *Graph {
 	cp := New(g.n)
-	copy(cp.adj, g.adj)
+	copy(cp.back, g.back)
 	return cp
 }
 
@@ -147,8 +161,8 @@ func (g *Graph) Equal(o *Graph) bool {
 	if g.n != o.n {
 		return false
 	}
-	for i := range g.adj {
-		if g.adj[i] != o.adj[i] {
+	for i := range g.back {
+		if g.back[i] != o.back[i] {
 			return false
 		}
 	}
@@ -167,12 +181,14 @@ func (g *Graph) String() string {
 
 // IsIndependentSet reports whether no two members of set are adjacent.
 func (g *Graph) IsIndependentSet(set []ids.ProcessID) bool {
-	var mask uint64
+	scratch := getScratch(g.words)
+	defer putScratch(scratch)
+	mask := bitset(*scratch)
 	for _, p := range set {
-		mask |= 1 << uint(g.check(p))
+		mask.set(g.check(p))
 	}
 	for _, p := range set {
-		if g.adj[g.check(p)]&mask != 0 {
+		if g.adj[g.check(p)].intersects(mask) {
 			return false
 		}
 	}
@@ -182,21 +198,59 @@ func (g *Graph) IsIndependentSet(set []ids.ProcessID) bool {
 // IsVertexCover reports whether every edge has at least one endpoint in
 // set (the dual view used in Theorem 4 and Lemma 8).
 func (g *Graph) IsVertexCover(set []ids.ProcessID) bool {
-	var mask uint64
+	scratch := getScratch(g.words)
+	defer putScratch(scratch)
+	mask := bitset(*scratch)
 	for _, p := range set {
-		mask |= 1 << uint(g.check(p))
+		mask.set(g.check(p))
 	}
 	for i := 0; i < g.n; i++ {
-		if mask&(1<<uint(i)) != 0 {
+		if mask.test(i) {
 			continue
 		}
 		// Node i is outside the cover: all its edges must be covered
 		// by the other endpoint.
-		if g.adj[i]&^mask != 0 {
+		if g.adj[i].anyAndNot(mask) {
 			return false
 		}
 	}
 	return true
+}
+
+// firstISet runs the lexicographic branch-and-bound for an independent
+// set of size q, writing the chosen node indices into chosen (length q)
+// and reporting success. Scratch conflict sets are pooled, so the
+// search itself performs no allocations.
+func (g *Graph) firstISet(q int, chosen []int) bool {
+	scratch := getScratch((q + 1) * g.words)
+	defer putScratch(scratch)
+	buf := *scratch
+	depth := 0
+	// conflict(d) is the set of nodes excluded at depth d: everything
+	// chosen so far plus all its neighbors.
+	conflict := func(d int) bitset { return buf[d*g.words : (d+1)*g.words] }
+	var walk func(next int) bool
+	walk = func(next int) bool {
+		if depth == q {
+			return true
+		}
+		c := conflict(depth)
+		// Prune: not enough candidates left.
+		for v := c.nextClearBit(next, g.n); v <= g.n-(q-depth); v = c.nextClearBit(v+1, g.n) {
+			chosen[depth] = v
+			nc := conflict(depth + 1)
+			nc.copyFrom(c)
+			nc.orWith(g.adj[v])
+			nc.set(v)
+			depth++
+			if walk(v + 1) {
+				return true
+			}
+			depth--
+		}
+		return false
+	}
+	return walk(0)
 }
 
 // FirstIndependentSet returns the lexicographically-first independent
@@ -210,31 +264,8 @@ func (g *Graph) FirstIndependentSet(q int) (set []ids.ProcessID, ok bool) {
 	if q == 0 {
 		return []ids.ProcessID{}, true
 	}
-	chosen := make([]int, 0, q)
-	var conflict uint64 // nodes adjacent to a chosen node
-	var walk func(next int) bool
-	walk = func(next int) bool {
-		if len(chosen) == q {
-			return true
-		}
-		// Prune: not enough candidates left.
-		for v := next; v <= g.n-(q-len(chosen)); v++ {
-			bit := uint64(1) << uint(v)
-			if conflict&bit != 0 {
-				continue
-			}
-			savedConflict := conflict
-			chosen = append(chosen, v)
-			conflict |= g.adj[v] | bit
-			if walk(v + 1) {
-				return true
-			}
-			chosen = chosen[:len(chosen)-1]
-			conflict = savedConflict
-		}
-		return false
-	}
-	if !walk(0) {
+	chosen := make([]int, q)
+	if !g.firstISet(q, chosen) {
 		return nil, false
 	}
 	out := make([]ids.ProcessID, q)
@@ -247,8 +278,14 @@ func (g *Graph) FirstIndependentSet(q int) (set []ids.ProcessID, ok bool) {
 // HasIndependentSet reports whether an independent set of size q exists
 // (Algorithm 1 line 27).
 func (g *Graph) HasIndependentSet(q int) bool {
-	_, ok := g.FirstIndependentSet(q)
-	return ok
+	if q < 0 || q > g.n {
+		return false
+	}
+	if q == 0 {
+		return true
+	}
+	chosen := make([]int, q)
+	return g.firstISet(q, chosen)
 }
 
 // AllIndependentSets returns every independent set of exactly size q in
@@ -256,11 +293,21 @@ func (g *Graph) HasIndependentSet(q int) bool {
 // adversary's bookkeeping on small instances.
 func (g *Graph) AllIndependentSets(q int) [][]ids.ProcessID {
 	var out [][]ids.ProcessID
-	chosen := make([]int, 0, q)
-	var conflict uint64
+	if q < 0 || q > g.n {
+		return out
+	}
+	if q == 0 {
+		return [][]ids.ProcessID{{}}
+	}
+	scratch := getScratch((q + 1) * g.words)
+	defer putScratch(scratch)
+	buf := *scratch
+	chosen := make([]int, q)
+	depth := 0
+	conflict := func(d int) bitset { return buf[d*g.words : (d+1)*g.words] }
 	var walk func(next int)
 	walk = func(next int) {
-		if len(chosen) == q {
+		if depth == q {
 			set := make([]ids.ProcessID, q)
 			for i, v := range chosen {
 				set[i] = ids.ProcessID(v + 1)
@@ -268,32 +315,39 @@ func (g *Graph) AllIndependentSets(q int) [][]ids.ProcessID {
 			out = append(out, set)
 			return
 		}
-		for v := next; v <= g.n-(q-len(chosen)); v++ {
-			bit := uint64(1) << uint(v)
-			if conflict&bit != 0 {
-				continue
-			}
-			savedConflict := conflict
-			chosen = append(chosen, v)
-			conflict |= g.adj[v] | bit
+		c := conflict(depth)
+		for v := c.nextClearBit(next, g.n); v <= g.n-(q-depth); v = c.nextClearBit(v+1, g.n) {
+			chosen[depth] = v
+			nc := conflict(depth + 1)
+			nc.copyFrom(c)
+			nc.orWith(g.adj[v])
+			nc.set(v)
+			depth++
 			walk(v + 1)
-			chosen = chosen[:len(chosen)-1]
-			conflict = savedConflict
+			depth--
 		}
 	}
-	if q >= 0 && q <= g.n {
-		walk(0)
-	}
+	walk(0)
 	return out
 }
 
-func popcount(x uint64) int {
-	count := 0
-	for x != 0 {
-		x &= x - 1
-		count++
+// PruneEdges removes every edge {u, v} (u < v) for which keep returns
+// false and reports how many edges were removed. It visits each edge
+// once and allocates nothing — the suspicion store uses it to advance
+// its cached suspect graph to a new epoch in O(edges).
+func (g *Graph) PruneEdges(keep func(u, v ids.ProcessID) bool) int {
+	removed := 0
+	for i := 0; i < g.n; i++ {
+		row := g.adj[i]
+		for j := row.nextSetBit(i+1, g.n); j < g.n; j = row.nextSetBit(j+1, g.n) {
+			if !keep(ids.ProcessID(i+1), ids.ProcessID(j+1)) {
+				row.clear(j)
+				g.adj[j].clear(i)
+				removed++
+			}
+		}
 	}
-	return count
+	return removed
 }
 
 // SortEdges orders edges by (U, V) after normalization, the canonical

@@ -253,11 +253,13 @@ func coverLinearForest(g *Graph, m int) (*LineSubgraph, bool) {
 			return true // every node < m covered
 		}
 		up := ids.ProcessID(u)
-		for _, v := range g.Neighbors(up) {
-			if int(v) == m {
+		row := g.row(u - 1)
+		for vi := row.nextSetBit(0, n); vi < n; vi = row.nextSetBit(vi+1, n) {
+			v := ids.ProcessID(vi + 1)
+			if vi+1 == m {
 				continue // node m must keep degree 0
 			}
-			if l.deg[int(v)-1] >= 2 {
+			if l.deg[vi] >= 2 {
 				continue
 			}
 			// u is uncovered (degree 0), so this edge cannot close a

@@ -112,6 +112,11 @@ type Network struct {
 	events  *obs.Bus
 	log     logging.Logger
 	steps   uint64
+	// free recycles fired message-delivery events. Only delivery
+	// events are pooled: timer events double as runtime.Timer handles
+	// that protocol code may hold (and Stop) long after they fire, so
+	// reusing those would let a stale handle cancel an unrelated event.
+	free []*event
 }
 
 type linkKey struct {
@@ -208,10 +213,30 @@ func (n *Network) Step() bool {
 		n.now = ev.at
 		n.steps++
 		ev.fired = true
-		ev.fire()
+		if ev.fire != nil {
+			ev.fire()
+		} else {
+			n.deliver(ev.from, ev.to, ev.data)
+		}
+		if ev.poolable {
+			*ev = event{}
+			n.free = append(n.free, ev)
+		}
 		return true
 	}
 	return false
+}
+
+// deliver decodes and hands a message to its destination node, then
+// recycles the frame buffer (decoded messages never alias it).
+func (n *Network) deliver(from, to ids.ProcessID, data []byte) {
+	decoded, err := wire.Decode(data)
+	if err != nil {
+		panic(fmt.Sprintf("sim: message failed decode in flight: %v", err))
+	}
+	wire.Recycle(data)
+	n.metrics.Inc("msg.delivered.total", 1)
+	n.nodes[to].Receive(from, decoded)
 }
 
 // Run processes events until the queue is empty or the virtual clock
@@ -268,6 +293,22 @@ func (n *Network) schedule(at time.Duration, fn func()) *event {
 	return ev
 }
 
+// scheduleDelivery queues a message-delivery event, reusing a fired
+// event struct when one is free. No handle escapes, so the event is
+// poolable.
+func (n *Network) scheduleDelivery(at time.Duration, from, to ids.ProcessID, data []byte) {
+	var ev *event
+	if len(n.free) > 0 {
+		ev = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+	} else {
+		ev = &event{}
+	}
+	*ev = event{at: at, seq: n.seq, from: from, to: to, data: data, poolable: true}
+	n.seq++
+	heap.Push(&n.queue, ev)
+}
+
 // send models one message transmission with adversary filtering, link
 // latency and per-link FIFO.
 func (n *Network) send(from, to ids.ProcessID, m wire.Message) {
@@ -297,15 +338,9 @@ func (n *Network) send(from, to ids.ProcessID, m wire.Message) {
 	n.lastArr[key] = at
 	// Round-trip through the codec: what arrives is what was encoded,
 	// never a shared pointer — and undecodable garbage can't be sent.
-	data := wire.Encode(m)
-	n.schedule(at, func() {
-		decoded, err := wire.Decode(data)
-		if err != nil {
-			panic(fmt.Sprintf("sim: message failed decode in flight: %v", err))
-		}
-		n.metrics.Inc("msg.delivered.total", 1)
-		n.nodes[to].Receive(from, decoded)
-	})
+	// The frame buffer is pooled; deliver recycles it after decoding.
+	data := wire.EncodePooled(m)
+	n.scheduleDelivery(at, from, to, data)
 }
 
 // procEnv implements runtime.Env for one simulated process.
@@ -343,14 +378,19 @@ func (e *procEnv) After(d time.Duration, fn func()) runtime.Timer {
 }
 
 // event is a scheduled occurrence; it doubles as the runtime.Timer
-// handle returned by After.
+// handle returned by After. Timer events carry a fire callback;
+// message-delivery events carry the (from, to, data) payload instead
+// and are pooled after firing.
 type event struct {
 	at       time.Duration
 	seq      uint64
 	index    int
 	canceled bool
 	fired    bool
+	poolable bool
 	fire     func()
+	from, to ids.ProcessID
+	data     []byte
 }
 
 // Stop implements runtime.Timer.

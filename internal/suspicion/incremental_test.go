@@ -1,0 +1,195 @@
+package suspicion_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/suspicion"
+	"quorumselect/internal/wire"
+)
+
+// scanMaxEpoch recomputes MaxEpochSeen the slow way, from a snapshot.
+func scanMaxEpoch(m [][]uint64) uint64 {
+	var max uint64
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// TestIncrementalGraphMatchesRebuild is the core invariant of the
+// incremental cache: after ANY sequence of matrix writes and epoch
+// advances, the cached suspect graph equals a from-scratch rebuild at
+// the current epoch. It also checks the running MaxEpochSeen against a
+// full scan, and that the graph version ticks exactly when the edge set
+// changes.
+func TestIncrementalGraphMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(9)
+		f := (n - 1) / 3
+		net, nodes := newStoreNet(t, n, f, suspicion.Options{Forward: false}, sim.Options{})
+		_ = net
+		st := nodes[1].store
+		prev := st.SuspectGraph().Clone()
+		prevVer := st.GraphVersion()
+		for op := 0; op < 80; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				st.IncrementEpoch()
+			case 1:
+				st.ObserveEpoch(st.Epoch() + uint64(rng.Intn(3)))
+			case 2:
+				set := ids.NewProcSet()
+				for p := 1; p <= n; p++ {
+					if rng.Intn(4) == 0 {
+						set.Add(ids.ProcessID(p))
+					}
+				}
+				st.UpdateSuspicions(set)
+			default:
+				row := make([]uint64, n)
+				for k := range row {
+					if rng.Intn(3) == 0 {
+						row[k] = uint64(rng.Intn(6))
+					}
+				}
+				st.HandleUpdate(&wire.Update{
+					Owner: ids.ProcessID(rng.Intn(n) + 1),
+					Row:   row,
+					Sig:   []byte{0},
+				})
+			}
+			cur := st.SuspectGraph()
+			rebuilt := st.RebuildSuspectGraphAt(st.Epoch())
+			if !cur.Equal(rebuilt) {
+				t.Fatalf("trial %d op %d: cached graph diverged from rebuild at epoch %d\ncached:\n%s\nrebuilt:\n%s",
+					trial, op, st.Epoch(), cur, rebuilt)
+			}
+			if got, want := st.MaxEpochSeen(), scanMaxEpoch(st.Snapshot()); got != want {
+				t.Fatalf("trial %d op %d: MaxEpochSeen = %d, scan says %d", trial, op, got, want)
+			}
+			ver := st.GraphVersion()
+			if edgesChanged, verChanged := !cur.Equal(prev), ver != prevVer; edgesChanged != verChanged {
+				t.Fatalf("trial %d op %d: edge set changed=%v but version changed=%v (ver %d→%d)",
+					trial, op, edgesChanged, verChanged, prevVer, ver)
+			}
+			prev = cur.Clone()
+			prevVer = ver
+		}
+	}
+}
+
+// TestSuspectGraphSnapshotImmutable: graphs handed out by SuspectGraph
+// are snapshots — later store mutations must not alter them (the
+// copy-on-write contract that makes concurrent readers safe).
+func TestSuspectGraphSnapshotImmutable(t *testing.T) {
+	net, nodes := newStoreNet(t, 6, 1, suspicion.Options{Forward: false}, sim.Options{})
+	_ = net
+	st := nodes[1].store
+	st.HandleUpdate(&wire.Update{Owner: 1, Row: []uint64{0, 1, 0, 0, 0, 0}, Sig: []byte{0}})
+	snap := st.SuspectGraph()
+	frozen := snap.Clone()
+
+	st.HandleUpdate(&wire.Update{Owner: 3, Row: []uint64{0, 0, 0, 2, 0, 0}, Sig: []byte{0}})
+	st.IncrementEpoch() // prunes the epoch-1 edge {1,2}
+	if !snap.Equal(frozen) {
+		t.Fatalf("handed-out snapshot mutated by later store operations:\nnow:\n%s\nwas:\n%s", snap, frozen)
+	}
+	cur := st.SuspectGraph()
+	if cur.HasEdge(1, 2) || !cur.HasEdge(3, 4) {
+		t.Fatalf("current graph wrong after epoch advance:\n%s", cur)
+	}
+}
+
+// TestConcurrentGraphReadersUnderUpdateStorm hammers SuspectGraph (and
+// searches on the returned snapshots) from several goroutines while the
+// store absorbs an UPDATE storm and epoch advances. Run under -race
+// this proves the copy-on-write handoff: readers never observe a graph
+// being mutated.
+func TestConcurrentGraphReadersUnderUpdateStorm(t *testing.T) {
+	const n = 16
+	net, nodes := newStoreNet(t, n, (n-1)/3, suspicion.Options{Forward: false}, sim.Options{})
+	_ = net
+	st := nodes[1].store
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := st.SuspectGraph()
+				q := rng.Intn(5) + 1
+				if set, ok := g.FirstIndependentSet(q); ok && !g.IsIndependentSet(set) {
+					t.Errorf("reader got inconsistent snapshot: %v not independent in\n%s", set, g)
+					return
+				}
+				_ = g.EdgeCount()
+				_ = st.GraphVersion()
+				_ = st.MaxEpochSeen()
+				_ = st.Epoch()
+			}
+		}(int64(r))
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		switch {
+		case i%97 == 96:
+			st.IncrementEpoch()
+		case i%53 == 52:
+			st.ObserveEpoch(st.Epoch() + 1)
+		default:
+			row := make([]uint64, n)
+			row[rng.Intn(n)] = st.Epoch() + uint64(rng.Intn(2))
+			st.HandleUpdate(&wire.Update{
+				Owner: ids.ProcessID(rng.Intn(n) + 1),
+				Row:   row,
+				Sig:   []byte{0},
+			})
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if cur, rebuilt := st.SuspectGraph(), st.RebuildSuspectGraphAt(st.Epoch()); !cur.Equal(rebuilt) {
+		t.Fatalf("after storm: cached graph diverged from rebuild\ncached:\n%s\nrebuilt:\n%s", cur, rebuilt)
+	}
+}
+
+// TestSuspectGraphAtOldEpochRebuilds: arbitrary-epoch queries bypass the
+// cache and still agree with the incremental result at the current
+// epoch.
+func TestSuspectGraphAtOldEpochRebuilds(t *testing.T) {
+	net, nodes := newStoreNet(t, 5, 1, suspicion.Options{Forward: false}, sim.Options{})
+	_ = net
+	st := nodes[1].store
+	st.HandleUpdate(&wire.Update{Owner: 1, Row: []uint64{0, 2, 0, 0, 1}, Sig: []byte{0}})
+	st.ObserveEpoch(2)
+
+	if g := st.SuspectGraphAt(1); !g.HasEdge(1, 5) || !g.HasEdge(1, 2) {
+		t.Fatalf("epoch-1 rebuild missing edges:\n%s", g)
+	}
+	cur := st.SuspectGraphAt(2)
+	if cur.HasEdge(1, 5) || !cur.HasEdge(1, 2) {
+		t.Fatalf("epoch-2 graph wrong:\n%s", cur)
+	}
+	if !cur.Equal(st.SuspectGraph()) {
+		t.Fatal("SuspectGraphAt(current) disagrees with SuspectGraph")
+	}
+}

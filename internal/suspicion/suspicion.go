@@ -10,6 +10,14 @@
 // as the paper observes, equivocation only makes the merged state grow
 // faster.
 //
+// The suspect graph of §VI-B is maintained incrementally: every matrix
+// write updates a version-stamped cached graph edge-by-edge, and epoch
+// advances prune stale edges in O(edges), so selectors obtain the graph
+// in O(changed edges) instead of the former O(n²) rebuild. The cache is
+// copy-on-write: SuspectGraph hands out the cached instance as an
+// immutable snapshot, and the next mutation clones it first, so readers
+// on other goroutines (metrics frontends, tests) are race-free.
+//
 // Paper typo adopted (see DESIGN.md): Algorithm 1 line 14 reads
 // suspected[j][i] ← epoch, but every other use makes the row index the
 // suspecting process, so the local stamp is suspected[i][j] ← epoch.
@@ -17,6 +25,7 @@ package suspicion
 
 import (
 	"fmt"
+	"sync"
 
 	"quorumselect/internal/graph"
 	"quorumselect/internal/ids"
@@ -45,10 +54,22 @@ type Store struct {
 	opts Options
 	cfg  ids.Config
 
+	// mu guards the matrix, epoch, and the cached suspect graph. The
+	// protocol itself is single-threaded; the lock exists so that
+	// SuspectGraph readers on other goroutines (metrics frontends,
+	// race tests) see a consistent cache. It is never held across
+	// broadcasts or the onChange hook, which may re-enter the Store.
+	mu         sync.RWMutex
 	epoch      uint64
 	suspecting ids.ProcSet
 	matrix     [][]uint64
-	nonzero    int // count of non-zero matrix cells (cells are monotone)
+	nonzero    int    // count of non-zero matrix cells (cells are monotone)
+	maxEpoch   uint64 // running max over all matrix cells
+
+	// Incremental suspect-graph cache for the current epoch.
+	cache       *graph.Graph
+	cacheShared bool   // handed out by SuspectGraph; clone before mutating
+	version     uint64 // bumped whenever the cached graph's edge set changes
 
 	onChange func()
 	log      logging.Logger
@@ -67,6 +88,8 @@ func New(cfg ids.Config, opts Options) *Store {
 		epoch:      1,
 		suspecting: ids.NewProcSet(),
 		matrix:     m,
+		cache:      graph.New(cfg.N),
+		version:    1,
 	}
 }
 
@@ -77,10 +100,15 @@ func (s *Store) Bind(env runtime.Env, onChange func()) {
 	s.env = env
 	s.onChange = onChange
 	s.log = env.Logger()
+	runtime.SetNodeGauge(env, "graph.n", float64(s.cfg.N))
 }
 
 // Epoch returns the current epoch.
-func (s *Store) Epoch() uint64 { return s.epoch }
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
 
 // Suspecting returns the processes this process currently suspects (a
 // copy of the variable `suspecting` of Algorithm 1).
@@ -88,11 +116,15 @@ func (s *Store) Suspecting() ids.ProcSet { return s.suspecting.Clone() }
 
 // Value returns matrix[l][k]: the last epoch in which l suspected k.
 func (s *Store) Value(l, k ids.ProcessID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.matrix[s.idx(l)][s.idx(k)]
 }
 
 // Row returns a copy of l's suspicion row.
 func (s *Store) Row(l ids.ProcessID) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]uint64(nil), s.matrix[s.idx(l)]...)
 }
 
@@ -101,6 +133,66 @@ func (s *Store) idx(p ids.ProcessID) int {
 		panic(fmt.Sprintf("suspicion: %s outside Π with n=%d", p, s.cfg.N))
 	}
 	return int(p) - 1
+}
+
+// mutableCache returns the cache ready for mutation, cloning it first
+// if the current instance has been handed out to readers. Callers must
+// hold mu.
+func (s *Store) mutableCache() *graph.Graph {
+	if s.cacheShared {
+		s.cache = s.cache.Clone()
+		s.cacheShared = false
+		if s.env != nil {
+			s.env.Metrics().Inc("suspicion.graph.cow_clones", 1)
+		}
+	}
+	return s.cache
+}
+
+// stampCell raises matrix[l][k] to e (cells are monotone; lower values
+// are ignored), maintaining the nonzero count, the running max epoch,
+// and the cached suspect graph. It reports whether the cell changed.
+// Callers must hold mu.
+func (s *Store) stampCell(l, k int, e uint64) bool {
+	if e <= s.matrix[l][k] {
+		return false
+	}
+	if s.matrix[l][k] == 0 {
+		s.nonzero++
+	}
+	s.matrix[l][k] = e
+	if e > s.maxEpoch {
+		s.maxEpoch = e
+	}
+	// {l, k} is a suspect-graph edge iff either direction is stamped in
+	// the current epoch or later. Cells only grow, so a write can only
+	// add the edge, never remove it.
+	if l != k && e >= s.epoch {
+		u, v := ids.ProcessID(l+1), ids.ProcessID(k+1)
+		if !s.cache.HasEdge(u, v) {
+			s.mutableCache().AddEdge(u, v)
+			s.version++
+		}
+	}
+	return true
+}
+
+// advanceEpochLocked moves the epoch to e and prunes cached edges no
+// longer justified at the new epoch in O(edges). Callers must hold mu.
+func (s *Store) advanceEpochLocked(e uint64) {
+	if e <= s.epoch {
+		return
+	}
+	s.epoch = e
+	// Edges can only disappear when the epoch moves forward: an edge
+	// {u, v} survives iff one direction is stamped ≥ the new epoch.
+	removed := s.mutableCache().PruneEdges(func(u, v ids.ProcessID) bool {
+		ui, vi := int(u)-1, int(v)-1
+		return s.matrix[ui][vi] >= e || s.matrix[vi][ui] >= e
+	})
+	if removed > 0 {
+		s.version++
+	}
 }
 
 // UpdateSuspicions is Algorithm 1's updateSuspicions(S): record S as
@@ -118,22 +210,21 @@ func (s *Store) idx(p ids.ProcessID) int {
 func (s *Store) UpdateSuspicions(suspected ids.ProcSet) {
 	s.suspecting = suspected.Clone()
 	self := s.idx(s.env.ID())
+	s.mu.Lock()
 	changed := false
 	for _, p := range suspected.Sorted() {
-		if s.matrix[self][s.idx(p)] != s.epoch {
-			if s.matrix[self][s.idx(p)] == 0 {
-				s.nonzero++
-			}
-			s.matrix[self][s.idx(p)] = s.epoch
+		if s.stampCell(self, s.idx(p), s.epoch) {
 			changed = true
 		}
 	}
+	row := append([]uint64(nil), s.matrix[self]...)
+	s.mu.Unlock()
 	if changed {
 		s.updateSizeGauge()
 	}
 	up := &wire.Update{
 		Owner: s.env.ID(),
-		Row:   append([]uint64(nil), s.matrix[self]...),
+		Row:   row,
 	}
 	runtime.Sign(s.env, up)
 	s.env.Metrics().Inc("suspicion.update.broadcast", 1)
@@ -155,11 +246,14 @@ func (s *Store) AdvanceEpoch() {
 // cancels expectations and installs the default quorum between them
 // (lines 10–15).
 func (s *Store) IncrementEpoch() {
-	s.epoch++
+	s.mu.Lock()
+	next := s.epoch + 1
+	s.advanceEpochLocked(next)
+	s.mu.Unlock()
 	s.env.Metrics().Inc("suspicion.epoch.advanced", 1)
-	runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(s.epoch))
-	runtime.Emit(s.env, obs.Event{Type: obs.TypeEpochAdvance, Epoch: s.epoch})
-	s.log.Logf(logging.LevelDebug, "suspicion: advancing to epoch %d", s.epoch)
+	runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(next))
+	runtime.Emit(s.env, obs.Event{Type: obs.TypeEpochAdvance, Epoch: next})
+	s.log.Logf(logging.LevelDebug, "suspicion: advancing to epoch %d", next)
 }
 
 // ObserveEpoch fast-forwards the local epoch when merged suspicions
@@ -168,9 +262,12 @@ func (s *Store) IncrementEpoch() {
 // advancing through intermediate epochs); with it convergence needs
 // fewer rounds. It never moves the epoch backwards.
 func (s *Store) ObserveEpoch(e uint64) {
-	if e > s.epoch {
-		s.epoch = e
-		runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(s.epoch))
+	s.mu.Lock()
+	moved := e > s.epoch
+	s.advanceEpochLocked(e)
+	s.mu.Unlock()
+	if moved {
+		runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(e))
 	}
 }
 
@@ -184,17 +281,15 @@ func (s *Store) HandleUpdate(m *wire.Update) bool {
 		s.log.Logf(logging.LevelDebug, "suspicion: malformed update from %s (len=%d)", m.Owner, len(m.Row))
 		return false
 	}
-	row := s.matrix[s.idx(m.Owner)]
+	owner := s.idx(m.Owner)
+	s.mu.Lock()
 	changedCells := 0
-	for k := range row {
-		if m.Row[k] > row[k] {
-			if row[k] == 0 {
-				s.nonzero++
-			}
-			row[k] = m.Row[k]
+	for k, v := range m.Row {
+		if s.stampCell(owner, k, v) {
 			changedCells++
 		}
 	}
+	s.mu.Unlock()
 	if changedCells == 0 {
 		return false
 	}
@@ -214,18 +309,59 @@ func (s *Store) HandleUpdate(m *wire.Update) bool {
 // updateSizeGauge publishes the count of non-zero matrix cells — the
 // store's "size" (how much suspicion history this replica has absorbed).
 func (s *Store) updateSizeGauge() {
-	runtime.SetNodeGauge(s.env, "suspicion.store.size", float64(s.nonzero))
+	s.mu.RLock()
+	nonzero := s.nonzero
+	s.mu.RUnlock()
+	runtime.SetNodeGauge(s.env, "suspicion.store.size", float64(nonzero))
 }
 
-// SuspectGraph builds the suspect graph G of §VI-B for the current
+// SuspectGraph returns the suspect graph G of §VI-B for the current
 // epoch e: nodes are Π, and {l, k} is an edge iff l suspected k in
 // epoch e or later, or vice versa.
+//
+// The returned graph is the incrementally-maintained cache, handed out
+// as an immutable snapshot: callers must not mutate it. Obtaining it is
+// O(1); the store pays O(changed edges) at mutation time instead.
 func (s *Store) SuspectGraph() *graph.Graph {
-	return s.SuspectGraphAt(s.epoch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheShared = true
+	return s.cache
 }
 
-// SuspectGraphAt builds the suspect graph for an explicit epoch.
+// GraphVersion returns a counter that changes whenever the edge set of
+// SuspectGraph changes, letting selectors memoize derived results
+// (e.g. the lexicographically-first independent set) per version.
+func (s *Store) GraphVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// SuspectGraphAt builds the suspect graph for an explicit epoch. For
+// the current epoch it returns the cached graph; other epochs pay a
+// full O(n²) rebuild (counted by suspicion.graph.rebuilds).
 func (s *Store) SuspectGraphAt(epoch uint64) *graph.Graph {
+	s.mu.Lock()
+	if epoch == s.epoch {
+		defer s.mu.Unlock()
+		s.cacheShared = true
+		return s.cache
+	}
+	s.mu.Unlock()
+	return s.RebuildSuspectGraphAt(epoch)
+}
+
+// RebuildSuspectGraphAt constructs the suspect graph for an epoch from
+// the full matrix, bypassing the incremental cache — the pre-cache code
+// path, kept for arbitrary-epoch queries, differential tests, and as
+// the rebuild baseline in benchmarks.
+func (s *Store) RebuildSuspectGraphAt(epoch uint64) *graph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.env != nil {
+		s.env.Metrics().Inc("suspicion.graph.rebuilds", 1)
+	}
 	g := graph.New(s.cfg.N)
 	for l := 0; l < s.cfg.N; l++ {
 		for k := l + 1; k < s.cfg.N; k++ {
@@ -238,21 +374,18 @@ func (s *Store) SuspectGraphAt(epoch uint64) *graph.Graph {
 }
 
 // MaxEpochSeen returns the largest epoch stamp anywhere in the matrix;
-// used by selectors to detect that the system has moved on.
+// used by selectors to detect that the system has moved on. It is a
+// running maximum maintained on every matrix write, not a scan.
 func (s *Store) MaxEpochSeen() uint64 {
-	var max uint64
-	for _, row := range s.matrix {
-		for _, v := range row {
-			if v > max {
-				max = v
-			}
-		}
-	}
-	return max
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxEpoch
 }
 
 // Snapshot returns a deep copy of the matrix for assertions.
 func (s *Store) Snapshot() [][]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([][]uint64, len(s.matrix))
 	for i, row := range s.matrix {
 		out[i] = append([]uint64(nil), row...)

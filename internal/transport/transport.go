@@ -284,13 +284,16 @@ func (h *Host) readLoop(conn net.Conn) {
 // send queues a frame for a peer, creating the writer on demand.
 func (h *Host) send(to ids.ProcessID, m wire.Message) {
 	if to == h.cfg.Self {
-		// Local delivery through the normal event path.
+		// Local delivery through the normal event path. The codec
+		// round-trip uses a pooled buffer; decoded messages never
+		// alias it.
 		msg := m
-		data := wire.Encode(m)
+		data := wire.EncodePooled(m)
 		decoded, err := wire.Decode(data)
 		if err == nil {
 			msg = decoded
 		}
+		wire.Recycle(data)
 		select {
 		case h.events <- func() { h.node.Receive(h.cfg.Self, msg) }:
 		case <-h.done:
@@ -309,7 +312,9 @@ func (h *Host) send(to ids.ProcessID, m wire.Message) {
 	}
 	h.mu.Unlock()
 	h.cfg.Metrics.Inc("transport.sent", 1)
-	frame := wire.Encode(m)
+	// The frame is drawn from the wire pool; the peer writer recycles
+	// it after the bytes hit the socket.
+	frame := wire.EncodePooled(m)
 	kind := metrics.L{Key: "type", Value: m.Kind().String()}
 	h.cfg.Metrics.IncLabeled("transport.messages.total", 1, kind, metrics.L{Key: "dir", Value: "sent"})
 	h.cfg.Metrics.IncLabeled("transport.bytes.total", int64(len(frame)), kind, metrics.L{Key: "dir", Value: "sent"})
@@ -416,6 +421,9 @@ func (w *peerWriter) run() {
 					conn = nil
 					continue
 				}
+				// Frame delivered to the kernel; return the buffer to
+				// the encode pool.
+				wire.Recycle(frame)
 				break
 			}
 		}

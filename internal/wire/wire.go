@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"quorumselect/internal/ids"
 )
@@ -139,10 +140,48 @@ const maxSliceLen = 1 << 20
 // Encode renders m as canonical bytes: a one-byte type tag followed by
 // the body encoding.
 func Encode(m Message) []byte {
-	var b Buffer
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode appends m's canonical encoding to dst and returns the
+// extended slice — the allocation-free form of Encode for callers that
+// manage their own buffers.
+func AppendEncode(dst []byte, m Message) []byte {
+	b := Buffer{buf: dst}
 	b.PutUint8(uint8(m.Kind()))
 	m.encodeBody(&b)
-	return b.Bytes()
+	return b.buf
+}
+
+// framePool recycles encode buffers across the hot send paths
+// (simulator deliveries, transport frames). Buffers grow to fit and
+// keep their capacity across cycles.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// EncodePooled is Encode drawing its buffer from a process-wide pool.
+// The returned slice must be handed back with Recycle once no live
+// reference to its bytes remains; decoded messages never alias the
+// input (the Reader copies every byte field), so recycling right after
+// Decode is safe.
+func EncodePooled(m Message) []byte {
+	bp := framePool.Get().(*[]byte)
+	return AppendEncode((*bp)[:0], m)
+}
+
+// Recycle returns a buffer obtained from EncodePooled to the pool.
+// Passing any other slice is also safe: it simply donates the backing
+// array.
+func Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	framePool.Put(&buf)
 }
 
 // Decode parses canonical bytes into a fresh message value.
