@@ -28,10 +28,10 @@ check:
 	$(GO) test -race ./...
 
 # bench runs every benchmark with allocation stats and writes the
-# machine-readable report BENCH_PR2.json (see cmd/benchjson).
+# machine-readable report BENCH_PR3.json (see cmd/benchjson).
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # golden regenerates the Prometheus exposition golden file after an
 # intentional format change.

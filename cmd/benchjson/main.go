@@ -1,11 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report. Every benchmark line becomes a
-// name → {ns/op, B/op, allocs/op, custom metrics} entry, and the
-// suspect-graph build-vs-cached pairs are summarised as derived
-// speedup/allocation ratios. Input lines are echoed to stdout so the
+// name → {ns/op, B/op, allocs/op, custom metrics} entry; the
+// suspect-graph build-vs-cached pairs and the XPaxos batched-throughput
+// sweep are summarised as derived speedup ratios. Input lines are
+// echoed to stdout so the
 // command can sit at the end of a pipe without hiding the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR3.json
 package main
 
 import (
@@ -36,7 +37,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR3.json", "output JSON file")
 	flag.Parse()
 
 	rep := Report{Derived: map[string]float64{}}
@@ -64,6 +65,7 @@ func main() {
 		os.Exit(1)
 	}
 	deriveGraphRatios(&rep)
+	deriveBatchingSpeedup(&rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -150,5 +152,29 @@ func deriveGraphRatios(rep *Report) {
 			c = 1
 		}
 		rep.Derived["suspect_graph.allocs_ratio_min."+sz] = build.Metrics["allocs/op"] / c
+	}
+}
+
+// deriveBatchingSpeedup records how much wall-clock committed-request
+// throughput each XPaxos ingress batch size buys over the unbatched
+// (batch=1, seed-equivalent) proposal path.
+func deriveBatchingSpeedup(rep *Report) {
+	const prefix = "BenchmarkXPaxosBatchedThroughput/batch="
+	byBatch := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, prefix) {
+			byBatch[strings.TrimPrefix(b.Name, prefix)] = b
+		}
+	}
+	base, ok := byBatch["1"]
+	if !ok || base.Metrics["req/s"] <= 0 {
+		return
+	}
+	for batch, b := range byBatch {
+		if batch == "1" {
+			continue
+		}
+		rep.Derived["xpaxos.batching.throughput_x."+batch] =
+			b.Metrics["req/s"] / base.Metrics["req/s"]
 	}
 }

@@ -124,8 +124,19 @@ func runServer(id int, peersFlag string, f int, secret, httpAddr, debugAddr stri
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	s := <-sig
+	fmt.Printf("received %s, shutting down\n", s)
+	// Graceful shutdown: stop the node through the host lifecycle
+	// (heartbeats silenced, timers canceled), flush a final metrics dump
+	// to stderr for post-mortem scraping, and exit cleanly.
+	if err := host.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "# final metrics")
+	if _, err := host.Metrics().WriteTo(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+	}
+	os.Exit(0)
 }
 
 func runLocal(n, f int, secret string, requests int, verbose bool) {

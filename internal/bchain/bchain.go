@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/runtime"
@@ -278,46 +279,30 @@ func (r *Replica) spare() ids.ProcessID {
 	return ids.None
 }
 
-// Node runs a chain replica behind a failure detector.
+// Node runs a chain replica behind a failure detector: the replica-host
+// kernel in ModeFDOnly, with suspicions feeding the chain-repair logic.
 type Node struct {
-	fdOpts   fd.Options
-	hbPeriod time.Duration // 0 disables heartbeats
-
-	env      runtime.Env
-	Detector *fd.Detector
-	Replica  *Replica
-	HB       *fd.Heartbeater
+	*host.Host
+	Replica *Replica
 }
 
-var _ runtime.Node = (*Node)(nil)
+var (
+	_ runtime.Node    = (*Node)(nil)
+	_ runtime.Stopper = (*Node)(nil)
+)
 
 // NewNode creates an unstarted chain node. hbPeriod > 0 enables
 // heartbeats with that period.
 func NewNode(opts Options, fdOpts fd.Options, hbPeriod time.Duration) *Node {
-	return &Node{fdOpts: fdOpts, hbPeriod: hbPeriod, Replica: NewReplica(opts)}
-}
-
-// Init implements runtime.Node.
-func (n *Node) Init(env runtime.Env) {
-	n.env = env
-	n.Detector = fd.New(n.fdOpts)
-	n.Detector.Bind(env,
-		func(from ids.ProcessID, m wire.Message) {
-			if fd.IsHeartbeat(m) {
-				return
-			}
-			n.Replica.Deliver(from, m)
-		},
-		n.Replica.OnSuspected,
-	)
-	n.Replica.Attach(env, n.Detector)
-	if n.hbPeriod > 0 {
-		n.HB = fd.NewHeartbeater(n.Detector, n.hbPeriod)
-		n.HB.Start(env)
+	r := NewReplica(opts)
+	return &Node{
+		Host: host.New(host.Options{
+			Mode:            host.ModeFDOnly,
+			FD:              fdOpts,
+			HeartbeatPeriod: hbPeriod,
+			App:             r,
+			OnSuspect:       r.OnSuspected,
+		}),
+		Replica: r,
 	}
-}
-
-// Receive implements runtime.Node.
-func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
-	n.Detector.Receive(from, m)
 }

@@ -4,25 +4,18 @@ import (
 	"time"
 
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
-	"quorumselect/internal/wire"
 )
 
 // Application is the top module of Figure 1: it receives every
 // delivered non-UPDATE message and every ⟨QUORUM⟩ event, and may issue
 // expectations and detections through the Detector it is given in
-// Attach.
-type Application interface {
-	// Attach hands the application its environment and failure
-	// detector before any event is delivered.
-	Attach(env runtime.Env, detector *fd.Detector)
-	// Deliver receives an authenticated application message.
-	Deliver(from ids.ProcessID, m wire.Message)
-	// OnQuorum receives ⟨QUORUM, Q⟩ from the selection module.
-	OnQuorum(q ids.Quorum)
-}
+// Attach. It is exactly the replica-host kernel's quorum-consuming
+// application contract.
+type Application = host.QuorumApp
 
 // NodeOptions configures a composed quorum-selection process.
 type NodeOptions struct {
@@ -48,84 +41,39 @@ func DefaultNodeOptions() NodeOptions {
 
 // Node is one complete process of the paper's architecture (Fig 1):
 // network → failure detector → {suspicion store → selector, application}.
-// It implements runtime.Node for both the simulator and the TCP
-// transport.
+// It is a thin shell over the replica-host kernel (internal/host),
+// composed in ModeQuorumSelection with the Algorithm 1 selector; the
+// embedded kernel provides runtime.Node, the Detector/Store/HB modules,
+// Quorums/CurrentQuorum accounting, and the Stop lifecycle for both the
+// simulator and the TCP transport.
 type Node struct {
-	opts NodeOptions
-
-	env      runtime.Env
-	Detector *fd.Detector
-	Store    *suspicion.Store
+	*host.Host
+	// Selector is the Algorithm 1 selection module, exposed with its
+	// concrete type for experiments that inspect Epoch/Leader/Stable.
 	Selector *Selector
-	HB       *fd.Heartbeater
-
-	quorumLog []ids.Quorum
 }
 
-var _ runtime.Node = (*Node)(nil)
+var (
+	_ runtime.Node    = (*Node)(nil)
+	_ runtime.Stopper = (*Node)(nil)
+	_ host.Selection  = (*Selector)(nil)
+)
 
 // NewNode creates an unstarted node; the simulator or transport calls
-// Init. A failure-detector base timeout below 3× the heartbeat period
-// is raised to it: an expectation that cannot outlive the gap between
-// two heartbeats suspects every correct process on schedule.
+// Init. The kernel floors a failure-detector base timeout below 3× the
+// heartbeat period (see host.New).
 func NewNode(opts NodeOptions) *Node {
-	if opts.HeartbeatPeriod > 0 && opts.FD.BaseTimeout < 3*opts.HeartbeatPeriod {
-		opts.FD.BaseTimeout = 3 * opts.HeartbeatPeriod
-	}
-	return &Node{opts: opts}
-}
-
-// Init implements runtime.Node.
-func (n *Node) Init(env runtime.Env) {
-	n.env = env
-	n.Detector = fd.New(n.opts.FD)
-	n.Store = suspicion.New(env.Config(), n.opts.Store)
-	n.Selector = NewSelector(env, n.Store, func(q ids.Quorum) {
-		n.quorumLog = append(n.quorumLog, q)
-		if n.opts.App != nil {
-			n.opts.App.OnQuorum(q)
-		}
+	n := &Node{}
+	n.Host = host.New(host.Options{
+		Mode:            host.ModeQuorumSelection,
+		FD:              opts.FD,
+		Store:           opts.Store,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		App:             opts.App,
+		NewSelection: func(env runtime.Env, store *suspicion.Store, _ *fd.Detector, issue func(ids.Quorum)) host.Selection {
+			n.Selector = NewSelector(env, store, issue)
+			return n.Selector
+		},
 	})
-	n.Store.Bind(env, n.Selector.UpdateQuorum)
-	n.Detector.Bind(env, n.deliver, n.Selector.OnSuspected)
-	if n.opts.App != nil {
-		n.opts.App.Attach(env, n.Detector)
-	}
-	if n.opts.HeartbeatPeriod > 0 {
-		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
-		n.HB.Start(env)
-	}
+	return n
 }
-
-// Receive implements runtime.Node: all network traffic enters through
-// the failure detector (Fig 1).
-func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
-	n.Detector.Receive(from, m)
-}
-
-// deliver demultiplexes authenticated messages: UPDATEs go to the
-// suspicion store, heartbeats are consumed by the failure detector's
-// expectations, everything else goes to the application.
-func (n *Node) deliver(from ids.ProcessID, m wire.Message) {
-	switch msg := m.(type) {
-	case *wire.Update:
-		n.Store.HandleUpdate(msg)
-	case *wire.Heartbeat:
-		// Matching already happened inside the detector; heartbeats
-		// carry no payload for the application.
-	default:
-		if n.opts.App != nil {
-			n.opts.App.Deliver(from, m)
-		}
-	}
-}
-
-// Quorums returns every quorum issued so far, in order.
-func (n *Node) Quorums() []ids.Quorum {
-	out := make([]ids.Quorum, len(n.quorumLog))
-	copy(out, n.quorumLog)
-	return out
-}
-
-// CurrentQuorum returns the selector's current quorum.
-func (n *Node) CurrentQuorum() ids.Quorum { return n.Selector.Current() }

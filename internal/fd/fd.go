@@ -108,6 +108,10 @@ type Detector struct {
 	// the first still-standing suspicion of each process.
 	firstSuspectedAt map[ids.ProcessID]time.Duration
 
+	// closed marks the detector torn down: timers are stopped and new
+	// expectations are refused.
+	closed bool
+
 	log logging.Logger
 }
 
@@ -135,6 +139,11 @@ func New(opts Options) *Detector {
 // Bind attaches the detector to its process environment and callbacks.
 // deliver must not be nil; onSuspect may be nil when a caller polls
 // Suspected instead.
+//
+// Heartbeats are consumed here: they match expectations like any other
+// message but are never handed to deliver — they carry no payload for
+// the layers above, and filtering them once inside the detector means
+// no composition layer repeats the check.
 func (d *Detector) Bind(env runtime.Env, deliver Deliver, onSuspect OnSuspect) {
 	if deliver == nil {
 		panic("fd: Bind requires a deliver callback")
@@ -167,6 +176,9 @@ func (d *Detector) Receive(from ids.ProcessID, m wire.Message) {
 		from = signed.Signer()
 	}
 	d.match(from, m)
+	if IsHeartbeat(m) {
+		return // consumed by the expectations; nothing above wants it
+	}
 	d.deliver(from, m)
 }
 
@@ -215,9 +227,13 @@ func (d *Detector) match(from ids.ProcessID, m wire.Message) {
 // is expected from process from. scope tags the issuing module for
 // CancelScope; desc is used in logs only. If no matching message is
 // delivered within the sender's current timeout, from is suspected.
+// After Close, Expect is a no-op: a stopping node arms no new timers.
 func (d *Detector) Expect(scope string, from ids.ProcessID, desc string, pred Predicate) {
 	if pred == nil {
 		panic("fd: Expect requires a predicate")
+	}
+	if d.closed {
+		return
 	}
 	e := &expectation{scope: scope, from: from, desc: desc, pred: pred, issuedAt: d.env.Now()}
 	e.timer = d.env.After(d.timeoutFor(from), func() { d.expire(e) })
@@ -325,6 +341,28 @@ func (d *Detector) cancelWhere(drop func(*expectation) bool) {
 	}
 	d.updatePendingGauge()
 }
+
+// Close tears the detector down as part of node shutdown: every
+// outstanding expectation timer is stopped and the expectations are
+// dropped without publishing — this is lifecycle teardown, not the
+// protocol's ⟨CANCEL⟩, so no events are emitted and no suspicion set is
+// re-broadcast. Subsequent Expect calls are no-ops; Close is
+// idempotent.
+func (d *Detector) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, e := range d.expects {
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+	}
+	d.expects = nil
+}
+
+// Closed reports whether the detector has been torn down.
+func (d *Detector) Closed() bool { return d.closed }
 
 // Suspected returns the current suspicion set S: every process with an
 // overdue expectation plus every detected process.

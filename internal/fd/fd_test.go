@@ -82,8 +82,10 @@ func TestExpectationMatched(t *testing.T) {
 	if !n1.d.Suspected().Empty() {
 		t.Errorf("suspicions after matched expectation: %s", n1.d.Suspected())
 	}
-	if len(n1.delivered) != 1 {
-		t.Errorf("delivered %d messages, want 1", len(n1.delivered))
+	// The detector consumes heartbeats after matching: they carry no
+	// payload for the layers above.
+	if len(n1.delivered) != 0 {
+		t.Errorf("delivered %d messages, want 0", len(n1.delivered))
 	}
 	if n1.d.PendingExpectations() != 0 {
 		t.Error("matched expectation still pending")
@@ -380,11 +382,16 @@ func TestExpectationAgainstForwarderNotSatisfied(t *testing.T) {
 }
 
 func TestDeliverWithoutExpectation(t *testing.T) {
-	// Messages with no matching expectation are still delivered.
+	// Non-heartbeat messages with no matching expectation are still
+	// delivered; heartbeats are consumed by the detector.
 	net, nodes := newFDNet(t, 4, 1, defaultOpts())
+	net.Env(2).Send(1, &wire.Request{Client: 7, Seq: 1, Op: []byte("x")})
 	net.Env(2).Send(1, &wire.Heartbeat{From: 2, Seq: 5})
 	net.Run(time.Second)
 	if len(nodes[1].delivered) != 1 {
-		t.Error("unexpected message was not delivered")
+		t.Errorf("delivered %d messages, want 1 (the request, not the heartbeat)", len(nodes[1].delivered))
+	}
+	if _, ok := nodes[1].delivered[0].(*wire.Request); !ok {
+		t.Errorf("delivered %T, want *wire.Request", nodes[1].delivered[0])
 	}
 }

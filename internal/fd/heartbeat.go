@@ -29,6 +29,12 @@ type Heartbeater struct {
 	period   time.Duration
 	seq      uint64
 	stopped  bool
+
+	// tickTimer and armTimer are the pending periodic timers, kept so
+	// Stop can cancel them instead of leaving them to fire into a
+	// stopped node.
+	tickTimer runtime.Timer
+	armTimer  runtime.Timer
 }
 
 // NewHeartbeater creates a heartbeater sending every period. Start must
@@ -47,7 +53,12 @@ func NewHeartbeater(detector *Detector, period time.Duration) *Heartbeater {
 // suspicion burst at startup would churn quorums for no reason.
 func (h *Heartbeater) Start(env runtime.Env) {
 	h.env = env
-	env.After(h.period, func() {
+	h.stopped = false
+	h.armTimer = env.After(h.period, func() {
+		h.armTimer = nil
+		if h.stopped {
+			return
+		}
 		for _, p := range env.Config().All() {
 			if p != env.ID() {
 				h.expectFrom(p)
@@ -57,10 +68,21 @@ func (h *Heartbeater) Start(env runtime.Env) {
 	h.tick()
 }
 
-// Stop ends heartbeat sending (the expectations of other processes will
-// then see this process as silent — used to inject crash failures in
-// tests).
-func (h *Heartbeater) Stop() { h.stopped = true }
+// Stop ends heartbeat sending and cancels the pending tick and
+// expectation-arming timers, so a stopped node holds no live timers.
+// The expectations of other processes then see this process as silent —
+// also used to inject crash failures in tests. Stop is idempotent.
+func (h *Heartbeater) Stop() {
+	h.stopped = true
+	if h.tickTimer != nil {
+		h.tickTimer.Stop()
+		h.tickTimer = nil
+	}
+	if h.armTimer != nil {
+		h.armTimer.Stop()
+		h.armTimer = nil
+	}
+}
 
 func (h *Heartbeater) tick() {
 	if h.stopped {
@@ -69,7 +91,7 @@ func (h *Heartbeater) tick() {
 	h.seq++
 	hb := &wire.Heartbeat{From: h.env.ID(), Seq: h.seq}
 	runtime.Broadcast(h.env, hb, false)
-	h.env.After(h.period, h.tick)
+	h.tickTimer = h.env.After(h.period, h.tick)
 }
 
 // expectFrom issues a standing heartbeat expectation for p: whenever it
@@ -96,8 +118,10 @@ func (h *Heartbeater) expectFrom(p ids.ProcessID) {
 	})
 }
 
-// Deliver is a convenience Receive hook for nodes that route heartbeats
-// nowhere else; it reports whether m was a heartbeat.
+// IsHeartbeat reports whether m is a heartbeat. The detector filters
+// heartbeats out of the deliver path itself (see Detector.Bind), so
+// composition layers no longer need this; it remains exported for
+// tests and adversary filters that classify traffic.
 func IsHeartbeat(m wire.Message) bool {
 	_, ok := m.(*wire.Heartbeat)
 	return ok

@@ -5,6 +5,7 @@ import (
 
 	"quorumselect/internal/core"
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
@@ -34,78 +35,49 @@ func DefaultNodeOptions() NodeOptions {
 }
 
 // Node is one complete Follower Selection process: network → failure
-// detector → {suspicion store → follower selector, application}.
+// detector → {suspicion store → follower selector, application}. Like
+// core.Node it is a shell over the replica-host kernel in
+// ModeQuorumSelection; the Algorithm 2 selector additionally consumes
+// its own FOLLOWERS messages through the kernel's MessageHandler hook.
 type Node struct {
-	opts NodeOptions
-
-	env      runtime.Env
-	Detector *fd.Detector
-	Store    *suspicion.Store
+	*host.Host
+	// Selector is the Algorithm 2 selection module, exposed with its
+	// concrete type for experiments.
 	Selector *Selector
-	HB       *fd.Heartbeater
-
-	quorumLog []ids.Quorum
 }
 
-var _ runtime.Node = (*Node)(nil)
+var (
+	_ runtime.Node        = (*Node)(nil)
+	_ runtime.Stopper     = (*Node)(nil)
+	_ host.Selection      = (*Selector)(nil)
+	_ host.MessageHandler = (*Selector)(nil)
+)
 
-// NewNode creates an unstarted node. As in core.NewNode, the
-// failure-detector base timeout is floored at 3× the heartbeat period.
+// HandleMessage implements host.MessageHandler: the Algorithm 2
+// selector consumes FOLLOWERS messages; everything else falls through
+// to the application.
+func (s *Selector) HandleMessage(_ ids.ProcessID, m wire.Message) bool {
+	if msg, ok := m.(*wire.Followers); ok {
+		s.HandleFollowers(msg)
+		return true
+	}
+	return false
+}
+
+// NewNode creates an unstarted node. As in core.NewNode, the kernel
+// floors the failure-detector base timeout at 3× the heartbeat period.
 func NewNode(opts NodeOptions) *Node {
-	if opts.HeartbeatPeriod > 0 && opts.FD.BaseTimeout < 3*opts.HeartbeatPeriod {
-		opts.FD.BaseTimeout = 3 * opts.HeartbeatPeriod
-	}
-	return &Node{opts: opts}
-}
-
-// Init implements runtime.Node.
-func (n *Node) Init(env runtime.Env) {
-	n.env = env
-	n.Detector = fd.New(n.opts.FD)
-	n.Store = suspicion.New(env.Config(), n.opts.Store)
-	n.Selector = NewSelector(env, n.Store, n.Detector, func(q ids.Quorum) {
-		n.quorumLog = append(n.quorumLog, q)
-		if n.opts.App != nil {
-			n.opts.App.OnQuorum(q)
-		}
+	n := &Node{}
+	n.Host = host.New(host.Options{
+		Mode:            host.ModeQuorumSelection,
+		FD:              opts.FD,
+		Store:           opts.Store,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		App:             opts.App,
+		NewSelection: func(env runtime.Env, store *suspicion.Store, detector *fd.Detector, issue func(ids.Quorum)) host.Selection {
+			n.Selector = NewSelector(env, store, detector, issue)
+			return n.Selector
+		},
 	})
-	n.Store.Bind(env, n.Selector.UpdateQuorum)
-	n.Detector.Bind(env, n.deliver, n.Selector.OnSuspected)
-	if n.opts.App != nil {
-		n.opts.App.Attach(env, n.Detector)
-	}
-	if n.opts.HeartbeatPeriod > 0 {
-		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
-		n.HB.Start(env)
-	}
+	return n
 }
-
-// Receive implements runtime.Node.
-func (n *Node) Receive(from ids.ProcessID, m wire.Message) {
-	n.Detector.Receive(from, m)
-}
-
-func (n *Node) deliver(from ids.ProcessID, m wire.Message) {
-	switch msg := m.(type) {
-	case *wire.Update:
-		n.Store.HandleUpdate(msg)
-	case *wire.Followers:
-		n.Selector.HandleFollowers(msg)
-	case *wire.Heartbeat:
-		// Consumed by the failure detector's expectations.
-	default:
-		if n.opts.App != nil {
-			n.opts.App.Deliver(from, m)
-		}
-	}
-}
-
-// Quorums returns every ⟨QUORUM, leader, Q⟩ issued so far, in order.
-func (n *Node) Quorums() []ids.Quorum {
-	out := make([]ids.Quorum, len(n.quorumLog))
-	copy(out, n.quorumLog)
-	return out
-}
-
-// CurrentQuorum returns the selector's current leader quorum.
-func (n *Node) CurrentQuorum() ids.Quorum { return n.Selector.Current() }

@@ -1,0 +1,124 @@
+package host
+
+import (
+	"time"
+
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// DefaultMaxBatchLatency bounds how long a submitted request may sit in
+// the ingress buffer before a flush is forced, independent of batch
+// fill. At batch size 1 latency is irrelevant (every request flushes
+// synchronously); beyond that, this keeps tail latency bounded under
+// light load.
+const DefaultMaxBatchLatency = 5 * time.Millisecond
+
+// IngressOptions configures a client-request mempool.
+type IngressOptions struct {
+	// BatchSize is the number of requests that triggers a synchronous
+	// flush; values < 1 are treated as 1 (unbatched, seed-equivalent
+	// behavior: every Submit flushes immediately).
+	BatchSize int
+	// MaxLatency caps how long a buffered request waits for the batch
+	// to fill before a timer-driven flush; <= 0 selects
+	// DefaultMaxBatchLatency. Ignored at BatchSize 1.
+	MaxLatency time.Duration
+}
+
+// Ingress is the shared client-request mempool of the replica-host
+// kernel: protocols push deduplicated requests in and receive them back
+// in arrival order as batches, either when BatchSize requests have
+// accumulated or when the oldest buffered request has waited
+// MaxLatency. Dedup and client-table bookkeeping stay in the protocol
+// (they are protocol state); Ingress owns only buffering and flush
+// policy, so XPaxos proposal batching and the tendermint mempool run
+// the same code.
+//
+// Like all protocol state it is single-threaded: Submit, Flush, and
+// Stop run on the node's event loop.
+type Ingress struct {
+	env     runtime.Env
+	opts    IngressOptions
+	flush   func([]*wire.Request)
+	buf     []*wire.Request
+	timer   runtime.Timer
+	stopped bool
+}
+
+// NewIngress creates a mempool delivering batches to flush. The flush
+// callback runs on the node's event loop and owns the slice it is
+// given.
+func NewIngress(env runtime.Env, opts IngressOptions, flush func([]*wire.Request)) *Ingress {
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 1
+	}
+	if opts.MaxLatency <= 0 {
+		opts.MaxLatency = DefaultMaxBatchLatency
+	}
+	if flush == nil {
+		panic("host: ingress flush callback is required")
+	}
+	return &Ingress{env: env, opts: opts, flush: flush}
+}
+
+// BatchSize returns the configured flush threshold.
+func (in *Ingress) BatchSize() int { return in.opts.BatchSize }
+
+// Pending returns how many requests are buffered awaiting a flush.
+func (in *Ingress) Pending() int { return len(in.buf) }
+
+// Submit buffers one request. When the buffer reaches BatchSize the
+// batch flushes synchronously (so at BatchSize 1 Submit degenerates to
+// a direct call into flush, matching the unbatched proposal path);
+// otherwise a max-latency flush timer is armed for the first request of
+// the batch.
+func (in *Ingress) Submit(req *wire.Request) {
+	if in.stopped {
+		return
+	}
+	in.buf = append(in.buf, req)
+	if len(in.buf) >= in.opts.BatchSize {
+		in.Flush()
+		return
+	}
+	if in.timer == nil {
+		in.timer = in.env.After(in.opts.MaxLatency, func() {
+			in.timer = nil
+			in.Flush()
+		})
+	}
+}
+
+// Flush delivers the buffered batch, if any, canceling a pending
+// max-latency timer. Protocols call it directly when they gain the
+// ability to propose (e.g. on becoming leader) to drain requests
+// buffered while they could not.
+func (in *Ingress) Flush() {
+	if in.timer != nil {
+		in.timer.Stop()
+		in.timer = nil
+	}
+	if in.stopped || len(in.buf) == 0 {
+		return
+	}
+	batch := in.buf
+	in.buf = nil
+	in.env.Metrics().Observe("host.ingress.batch_size", float64(len(batch)))
+	in.flush(batch)
+}
+
+// Stop implements Stoppable: it cancels the flush timer and drops
+// buffered requests (an ingress being stopped has no one left to
+// propose them). Idempotent.
+func (in *Ingress) Stop() {
+	if in.stopped {
+		return
+	}
+	in.stopped = true
+	if in.timer != nil {
+		in.timer.Stop()
+		in.timer = nil
+	}
+	in.buf = nil
+}

@@ -47,6 +47,9 @@ const (
 	TypeCheckpoint
 	// TypeEpochAdvance marks a suspicion-store epoch advance.
 	TypeEpochAdvance
+	// TypeLifecycle marks a replica-host lifecycle transition (running,
+	// stopped); Detail carries the new state.
+	TypeLifecycle
 )
 
 var typeNames = map[Type]string{
@@ -60,6 +63,7 @@ var typeNames = map[Type]string{
 	TypeViewChangeEnd:    "VIEW_CHANGE_END",
 	TypeCheckpoint:       "CHECKPOINT",
 	TypeEpochAdvance:     "EPOCH_ADVANCE",
+	TypeLifecycle:        "LIFECYCLE",
 }
 
 // String returns the stable wire name of the type.

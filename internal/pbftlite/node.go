@@ -5,9 +5,8 @@ import (
 
 	"quorumselect/internal/core"
 	"quorumselect/internal/fd"
-	"quorumselect/internal/ids"
+	"quorumselect/internal/host"
 	"quorumselect/internal/runtime"
-	"quorumselect/internal/wire"
 )
 
 // NewQSNode composes an ActiveQuorum replica with the quorum-selection
@@ -22,45 +21,30 @@ func NewQSNode(opts Options, nodeOpts core.NodeOptions) (*core.Node, *Replica) {
 
 // StandaloneNode runs a BroadcastAll replica with just a failure
 // detector (suspicions are recorded but masked, as in classic PBFT).
+// It is the replica-host kernel in ModeFDOnly with a nil OnSuspect.
 type StandaloneNode struct {
-	fdOpts   fd.Options
-	hbPeriod time.Duration
-
-	env      runtime.Env
-	Detector *fd.Detector
-	Replica  *Replica
-	HB       *fd.Heartbeater
+	*host.Host
+	Replica *Replica
 }
 
-var _ runtime.Node = (*StandaloneNode)(nil)
+var (
+	_ runtime.Node    = (*StandaloneNode)(nil)
+	_ runtime.Stopper = (*StandaloneNode)(nil)
+)
 
 // NewStandaloneNode creates an unstarted broadcast-all node.
 func NewStandaloneNode(opts Options, fdOpts fd.Options, hbPeriod time.Duration) *StandaloneNode {
 	opts.Regime = BroadcastAll
-	return &StandaloneNode{fdOpts: fdOpts, hbPeriod: hbPeriod, Replica: NewReplica(opts)}
-}
-
-// Init implements runtime.Node.
-func (n *StandaloneNode) Init(env runtime.Env) {
-	n.env = env
-	n.Detector = fd.New(n.fdOpts)
-	n.Detector.Bind(env,
-		func(from ids.ProcessID, m wire.Message) {
-			if fd.IsHeartbeat(m) {
-				return
-			}
-			n.Replica.Deliver(from, m)
-		},
-		nil, // suspicions are masked, not acted on (classic PBFT)
-	)
-	n.Replica.Attach(env, n.Detector)
-	if n.hbPeriod > 0 {
-		n.HB = fd.NewHeartbeater(n.Detector, n.hbPeriod)
-		n.HB.Start(env)
+	r := NewReplica(opts)
+	return &StandaloneNode{
+		Host: host.New(host.Options{
+			Mode:            host.ModeFDOnly,
+			FD:              fdOpts,
+			HeartbeatPeriod: hbPeriod,
+			App:             r,
+			// OnSuspect stays nil: suspicions are masked, not acted on
+			// (classic PBFT).
+		}),
+		Replica: r,
 	}
-}
-
-// Receive implements runtime.Node.
-func (n *StandaloneNode) Receive(from ids.ProcessID, m wire.Message) {
-	n.Detector.Receive(from, m)
 }

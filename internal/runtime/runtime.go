@@ -67,6 +67,26 @@ type Node interface {
 	Receive(from ids.ProcessID, m wire.Message)
 }
 
+// Stopper is the optional lifecycle extension of Node: a node that
+// implements it can be torn down — periodic senders stopped,
+// outstanding timers canceled, the application detached — so the
+// simulator or transport can shut a process down (or restart it)
+// without leaking goroutines or timers. Stop must be called on the
+// node's event loop (like Init and Receive) and must be idempotent.
+type Stopper interface {
+	Stop()
+}
+
+// StopNode tears n down if it implements Stopper; it reports whether it
+// did.
+func StopNode(n Node) bool {
+	s, ok := n.(Stopper)
+	if ok {
+		s.Stop()
+	}
+	return ok
+}
+
 // Broadcast sends m to every process in Π, including the sender itself
 // when includeSelf is set (Algorithm 1 broadcasts updates "to all
 // including self").

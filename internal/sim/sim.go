@@ -286,6 +286,26 @@ func (n *Network) RunQuiescent(maxTime time.Duration) int {
 	return n.Run(maxTime)
 }
 
+// StopProcess tears down one node through the runtime.Stopper lifecycle
+// (heartbeats silenced, timers canceled); it reports whether the node
+// supported it. The stopped process appears crashed to the others — the
+// clean-shutdown flavor of the crash injection tests do by silencing
+// heartbeaters directly.
+func (n *Network) StopProcess(p ids.ProcessID) bool {
+	return runtime.StopNode(n.nodes[p])
+}
+
+// Close stops every node (see StopProcess) and discards the remaining
+// event queue. The network must not be stepped afterwards; Close is
+// idempotent.
+func (n *Network) Close() {
+	for _, p := range n.cfg.All() {
+		runtime.StopNode(n.nodes[p])
+	}
+	n.queue = nil
+	n.free = nil
+}
+
 func (n *Network) schedule(at time.Duration, fn func()) *event {
 	ev := &event{at: at, seq: n.seq, fire: fn}
 	n.seq++

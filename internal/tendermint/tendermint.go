@@ -51,6 +51,7 @@ import (
 	"quorumselect/internal/core"
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/runtime"
@@ -73,6 +74,14 @@ type Options struct {
 	// RoundTimeout bounds how long an armed round may run before the
 	// replica moves to the next proposer (default 250ms).
 	RoundTimeout time.Duration
+	// BatchSize is the ingress gossip batch size: locally submitted
+	// requests accumulate in the shared host.Ingress mempool and gossip
+	// to the other participants as one BATCH frame. Values < 1 mean 1
+	// (every request gossips immediately).
+	BatchSize int
+	// MaxBatchLatency caps how long a submitted request waits for its
+	// gossip batch to fill; <= 0 selects host.DefaultMaxBatchLatency.
+	MaxBatchLatency time.Duration
 }
 
 // step is the position inside a round.
@@ -118,6 +127,9 @@ type Replica struct {
 	mempool     []*wire.Request
 	seen        map[string]bool // mempool dedupe key client/seq
 	clientTable map[uint64]uint64
+	// ingress is the shared client-request mempool frontend: locally
+	// submitted requests buffer there and flush as gossip batches.
+	ingress *host.Ingress
 
 	// pendingMsgs buffers proposals and votes for future rounds or the
 	// next height: participants cross height/round boundaries at
@@ -162,7 +174,23 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.log = env.Logger()
 	r.active = ids.NewQuorum(r.cfg.DefaultQuorum().Sorted())
 	r.height = 1
+	r.ingress = host.NewIngress(env, host.IngressOptions{
+		BatchSize:  r.opts.BatchSize,
+		MaxLatency: r.opts.MaxBatchLatency,
+	}, r.flushGossip)
 	r.enterRound(0)
+}
+
+// Stop implements host.Stoppable: cancel the round timer and the
+// ingress flush timer so a stopped replica holds no live timers.
+func (r *Replica) Stop() {
+	if r.ingress != nil {
+		r.ingress.Stop()
+	}
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
 }
 
 // Height returns the current consensus height.
@@ -203,10 +231,16 @@ func (r *Replica) OnQuorum(q ids.Quorum) {
 	r.active = ids.NewQuorum(q.Members)
 	r.detector.CancelScope(Scope)
 	r.rounds = make(map[uint64]*roundState)
-	for _, req := range r.mempool {
+	if len(r.mempool) > 0 {
+		// Re-gossip the pending requests as one BATCH frame per member,
+		// so newly selected participants can propose them.
+		batch := &wire.Batch{Reqs: make([]wire.Request, len(r.mempool))}
+		for i, req := range r.mempool {
+			batch.Reqs[i] = *req
+		}
 		for _, p := range r.active.Members {
 			if p != r.env.ID() {
-				r.env.Send(p, req)
+				r.env.Send(p, batch)
 			}
 		}
 	}
@@ -224,18 +258,31 @@ func (r *Replica) OnQuorum(q ids.Quorum) {
 	r.enterRound(0)
 }
 
-// Submit adds a client request to the local mempool and gossips it to
-// the other participants so every proposer can propose it.
+// Submit adds a client request to the shared ingress mempool; flushed
+// batches land in the local mempool and gossip to the other
+// participants so every proposer can propose them.
 func (r *Replica) Submit(req *wire.Request) {
 	if r.clientTable[req.Client] >= req.Seq {
 		return
 	}
-	if !r.addToMempool(req) {
+	r.ingress.Submit(req)
+}
+
+// flushGossip receives ingress batches: the requests enter the local
+// mempool and gossip to the other participants as one BATCH frame.
+func (r *Replica) flushGossip(reqs []*wire.Request) {
+	batch := &wire.Batch{}
+	for _, req := range reqs {
+		if r.addToMempool(req) {
+			batch.Reqs = append(batch.Reqs, *req)
+		}
+	}
+	if len(batch.Reqs) == 0 {
 		return
 	}
 	for _, p := range r.active.Members {
 		if p != r.env.ID() {
-			r.env.Send(p, req)
+			r.env.Send(p, batch)
 		}
 	}
 	r.armRound()
@@ -256,6 +303,17 @@ func (r *Replica) Deliver(from ids.ProcessID, m wire.Message) {
 	switch msg := m.(type) {
 	case *wire.Request:
 		if r.addToMempool(msg) {
+			r.armRound()
+		}
+	case *wire.Batch:
+		added := false
+		for i := range msg.Reqs {
+			req := msg.Reqs[i]
+			if r.addToMempool(&req) {
+				added = true
+			}
+		}
+		if added {
 			r.armRound()
 		}
 	case *wire.TMProposal:

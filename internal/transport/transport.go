@@ -166,17 +166,26 @@ func (h *Host) SetPeerAddr(p ids.ProcessID, addr string) {
 }
 
 // Do runs fn on the host's event loop and waits for it — the way tests
-// and frontends interact with the protocol node safely.
+// and frontends interact with the protocol node safely. If the host
+// closes first, Do returns without fn having run: the loop may exit
+// with the closure still queued, so waiting only on doneCh would hang
+// callers racing a shutdown.
 func (h *Host) Do(fn func()) {
 	doneCh := make(chan struct{})
 	select {
 	case h.events <- func() { fn(); close(doneCh) }:
-		<-doneCh
+		select {
+		case <-doneCh:
+		case <-h.done:
+		}
 	case <-h.done:
 	}
 }
 
-// Close shuts the host down and waits for its goroutines.
+// Close tears the node down through the runtime.Stopper lifecycle (on
+// the event loop, like every other node entry point), then shuts the
+// transport down and waits for its goroutines. Closing an already
+// closed host is a no-op returning nil.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -189,6 +198,17 @@ func (h *Host) Close() error {
 		writers = append(writers, w)
 	}
 	h.mu.Unlock()
+
+	// Stop the node before stopping the loop, so heartbeaters and
+	// protocol timers cancel cleanly. If the loop's queue is saturated,
+	// skip the stop rather than deadlock the shutdown: the loop exits
+	// next and pending timers die with the process.
+	stopDone := make(chan struct{})
+	select {
+	case h.events <- func() { runtime.StopNode(h.node); close(stopDone) }:
+		<-stopDone
+	default:
+	}
 
 	close(h.done)
 	err := h.listener.Close()

@@ -12,6 +12,7 @@ var (
 	_ Signed  = (*Update)(nil)
 	_ Signed  = (*Followers)(nil)
 	_ Message = (*Request)(nil)
+	_ Message = (*Batch)(nil)
 	_ Signed  = (*Prepare)(nil)
 	_ Signed  = (*Commit)(nil)
 	_ Signed  = (*Reply)(nil)
@@ -239,13 +240,55 @@ func (m *Request) Equal(o *Request) bool {
 	return m.Client == o.Client && m.Seq == o.Seq && string(m.Op) == string(o.Op)
 }
 
-// Prepare is XPaxos's PREPARE: the leader proposes a client request for
-// a slot in a view (§V-A step 1).
+// Batch is a frame of client requests moved together: the replica
+// host's ingress flushes one Batch instead of one frame per request
+// (non-leader → leader forwarding in XPaxos, mempool gossip in the
+// consensus engine). Requests are link-authenticated like individual
+// Request frames; receivers deduplicate per request.
+type Batch struct {
+	Reqs []Request
+}
+
+// Kind implements Message.
+func (*Batch) Kind() Type { return TypeBatch }
+
+func (m *Batch) encodeBody(b *Buffer) {
+	b.PutUint32(uint32(len(m.Reqs)))
+	for i := range m.Reqs {
+		m.Reqs[i].encodeBody(b)
+	}
+}
+
+func (m *Batch) decodeBody(r *Reader) error {
+	n, err := r.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > maxSliceLen {
+		return fmt.Errorf("wire: batch length %d exceeds limit", n)
+	}
+	if n > 0 {
+		m.Reqs = make([]Request, n)
+		for i := range m.Reqs {
+			if err := m.Reqs[i].decodeBody(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Prepare is XPaxos's PREPARE: the leader proposes a slot's worth of
+// client requests in a view (§V-A step 1). Req is the first request of
+// the slot; Rest carries the remainder of the batch (empty at batch
+// size 1, reproducing the paper's one-request-per-slot normal case).
+// All requests of the slot commit atomically and execute in order.
 type Prepare struct {
 	Leader ids.ProcessID
 	View   uint64
 	Slot   uint64
 	Req    Request
+	Rest   []Request
 	Sig    []byte
 }
 
@@ -263,6 +306,10 @@ func (m *Prepare) encodeSigned(b *Buffer) {
 	b.PutUint64(m.View)
 	b.PutUint64(m.Slot)
 	m.Req.encodeBody(b)
+	b.PutUint32(uint32(len(m.Rest)))
+	for i := range m.Rest {
+		m.Rest[i].encodeBody(b)
+	}
 }
 
 func (m *Prepare) decodeBody(r *Reader) error {
@@ -282,8 +329,34 @@ func (m *Prepare) decodeBody(r *Reader) error {
 	if err = m.Req.decodeBody(r); err != nil {
 		return err
 	}
+	n, err := r.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > maxSliceLen {
+		return fmt.Errorf("wire: prepare batch length %d exceeds limit", n)
+	}
+	if n > 0 {
+		m.Rest = make([]Request, n)
+		for i := range m.Rest {
+			if err := m.Rest[i].decodeBody(r); err != nil {
+				return err
+			}
+		}
+	}
 	m.Sig, err = r.Bytes()
 	return err
+}
+
+// Requests returns the slot's full batch in proposal order (Req
+// followed by Rest).
+func (m *Prepare) Requests() []*Request {
+	out := make([]*Request, 0, 1+len(m.Rest))
+	out = append(out, &m.Req)
+	for i := range m.Rest {
+		out = append(out, &m.Rest[i])
+	}
+	return out
 }
 
 // Signer implements Signed.

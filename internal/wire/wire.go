@@ -16,6 +16,8 @@
 //   - Update: the signed suspicion-row broadcast of Algorithm 1.
 //   - Followers: the FOLLOWERS message of Algorithm 2.
 //   - Request/Prepare/Commit/Reply/ViewChange/NewView: XPaxos (§V).
+//   - Batch: a frame of client requests moved together by the replica
+//     host's ingress (leader forwarding, mempool gossip).
 //   - PrePrepare/PBFTPrepare/PBFTCommit: the PBFT-style broadcast-all
 //     baseline used for the §I message-reduction claim.
 //   - ChainForward/ChainAck: the BChain-style chain baseline.
@@ -54,6 +56,7 @@ const (
 	TypeTMPrecommit
 	TypeTMDecided
 	TypeCommitCert
+	TypeBatch
 )
 
 // String returns the protocol name of the message type.
@@ -97,6 +100,8 @@ func (t Type) String() string {
 		return "TM-DECIDED"
 	case TypeCommitCert:
 		return "COMMIT-CERT"
+	case TypeBatch:
+		return "BATCH"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -244,6 +249,8 @@ func newMessage(t Type) Message {
 		return &TMDecided{}
 	case TypeCommitCert:
 		return &CommitCert{}
+	case TypeBatch:
+		return &Batch{}
 	default:
 		return nil
 	}

@@ -16,6 +16,10 @@ func sampleMessages() []Message {
 	prep := Prepare{Leader: 1, View: 3, Slot: 9, Req: req, Sig: []byte{1, 2, 3}}
 	return []Message{
 		&Heartbeat{From: 2, Seq: 100},
+		&Batch{Reqs: []Request{
+			{Client: 7, Seq: 43, Op: []byte("set y=2")},
+			{Client: 8, Seq: 1, Op: []byte("get y")},
+		}},
 		&Update{Owner: 3, Row: []uint64{0, 2, 0, 1, 5}, Sig: []byte{9, 8}},
 		&Followers{
 			Leader:    2,
@@ -26,6 +30,11 @@ func sampleMessages() []Message {
 		},
 		&req,
 		&prep,
+		&Prepare{Leader: 1, View: 3, Slot: 10, Req: req, Sig: []byte{1, 2, 3},
+			Rest: []Request{
+				{Client: 7, Seq: 44, Op: []byte("set z=3")},
+				{Client: 9, Seq: 2, Op: []byte("del z")},
+			}},
 		&Commit{Replica: 4, View: 3, Slot: 9, HasPrep: true, Prep: prep, Sig: []byte{5}},
 		&Commit{Replica: 4, View: 3, Slot: 9, HasPrep: false, Sig: []byte{5}},
 		&Reply{Replica: 2, Client: 7, Seq: 42, Result: []byte("ok"), Sig: []byte{1}},

@@ -5,9 +5,8 @@ import (
 
 	"quorumselect/internal/core"
 	"quorumselect/internal/fd"
-	"quorumselect/internal/ids"
+	"quorumselect/internal/host"
 	"quorumselect/internal/runtime"
-	"quorumselect/internal/wire"
 )
 
 // NewQSNode composes an XPaxos replica with the full quorum-selection
@@ -41,46 +40,31 @@ func DefaultStandaloneOptions() StandaloneOptions {
 
 // StandaloneNode runs an XPaxos replica in the original quorum-change
 // regime (ModeEnumeration): network → failure detector → replica, with
-// no quorum-selection module. FD suspicions feed the replica directly
-// and trigger next-quorum view changes.
+// no quorum-selection module. It is the replica-host kernel in
+// ModeFDOnly, with FD suspicions feeding the replica directly to
+// trigger next-quorum view changes.
 type StandaloneNode struct {
-	opts StandaloneOptions
-
-	env      runtime.Env
-	Detector *fd.Detector
-	Replica  *Replica
-	HB       *fd.Heartbeater
+	*host.Host
+	Replica *Replica
 }
 
-var _ runtime.Node = (*StandaloneNode)(nil)
+var (
+	_ runtime.Node    = (*StandaloneNode)(nil)
+	_ runtime.Stopper = (*StandaloneNode)(nil)
+)
 
 // NewStandaloneNode creates an unstarted enumeration-baseline node.
 func NewStandaloneNode(opts StandaloneOptions) *StandaloneNode {
 	opts.Replica.Mode = ModeEnumeration
-	return &StandaloneNode{opts: opts, Replica: NewReplica(opts.Replica)}
-}
-
-// Init implements runtime.Node.
-func (n *StandaloneNode) Init(env runtime.Env) {
-	n.env = env
-	n.Detector = fd.New(n.opts.FD)
-	n.Detector.Bind(env,
-		func(from ids.ProcessID, m wire.Message) {
-			if fd.IsHeartbeat(m) {
-				return
-			}
-			n.Replica.Deliver(from, m)
-		},
-		n.Replica.OnSuspected,
-	)
-	n.Replica.Attach(env, n.Detector)
-	if n.opts.HeartbeatPeriod > 0 {
-		n.HB = fd.NewHeartbeater(n.Detector, n.opts.HeartbeatPeriod)
-		n.HB.Start(env)
+	r := NewReplica(opts.Replica)
+	return &StandaloneNode{
+		Host: host.New(host.Options{
+			Mode:            host.ModeFDOnly,
+			FD:              opts.FD,
+			HeartbeatPeriod: opts.HeartbeatPeriod,
+			App:             r,
+			OnSuspect:       r.OnSuspected,
+		}),
+		Replica: r,
 	}
-}
-
-// Receive implements runtime.Node.
-func (n *StandaloneNode) Receive(from ids.ProcessID, m wire.Message) {
-	n.Detector.Receive(from, m)
 }

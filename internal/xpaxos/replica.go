@@ -8,6 +8,7 @@ import (
 
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
@@ -47,6 +48,15 @@ type Options struct {
 	// state machine implementing Snapshotter; 0 disables checkpointing
 	// and the log grows without bound.
 	CheckpointInterval uint64
+	// BatchSize is the client-request ingress batch size: the leader
+	// commits up to this many requests per slot. Values < 1 mean 1
+	// (unbatched: every request proposes its own slot, the original
+	// behavior).
+	BatchSize int
+	// MaxBatchLatency caps how long a buffered request waits for its
+	// batch to fill; <= 0 selects host.DefaultMaxBatchLatency. Ignored
+	// at BatchSize 1, where every submit flushes synchronously.
+	MaxBatchLatency time.Duration
 }
 
 // checkpoint is a stable checkpoint: the replica's state after
@@ -86,8 +96,12 @@ type Replica struct {
 	// accepted holds the highest-view prepare per slot across views —
 	// the log reported in VIEW-CHANGE messages.
 	accepted map[uint64]*wire.Prepare
-	// committedReq holds requests whose slot committed, for execution.
-	committedReq map[uint64]*wire.Request
+	// committedReq holds the request batch of each committed slot, in
+	// proposal order, for execution.
+	committedReq map[uint64][]*wire.Request
+	// ingress is the client-request mempool: requests accumulate there
+	// and flush into proposals (leader) or leader forwards (others).
+	ingress *host.Ingress
 	lastExec     uint64
 	clientTable  map[uint64]uint64 // client → highest executed seq
 
@@ -123,7 +137,7 @@ func NewReplica(opts Options) *Replica {
 		opts:         opts,
 		entries:      make(map[uint64]*entry),
 		accepted:     make(map[uint64]*wire.Prepare),
-		committedReq: make(map[uint64]*wire.Request),
+		committedReq: make(map[uint64][]*wire.Request),
 		clientTable:  make(map[uint64]uint64),
 		vcVotes:      make(map[uint64]map[ids.ProcessID]*wire.ViewChange),
 		slotStart:    make(map[uint64]time.Duration),
@@ -140,7 +154,19 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.view = 0
 	r.active = r.enumeration[0]
 	r.nextSlot = 1
+	r.ingress = host.NewIngress(env, host.IngressOptions{
+		BatchSize:  r.opts.BatchSize,
+		MaxLatency: r.opts.MaxBatchLatency,
+	}, r.flushBatch)
 	runtime.SetNodeGauge(r.env, "xpaxos.view", 0)
+}
+
+// Stop implements host.Stoppable: cancel the ingress flush timer so a
+// stopped replica holds no live timers.
+func (r *Replica) Stop() {
+	if r.ingress != nil {
+		r.ingress.Stop()
+	}
 }
 
 // View returns the current view number.
@@ -179,31 +205,53 @@ func (r *Replica) quorumAt(v uint64) ids.Quorum {
 }
 
 // Submit injects a client request at this replica (the harness's or
-// server frontend's entry point). Non-leaders forward to the leader.
+// server frontend's entry point). Requests buffer in the ingress
+// mempool; flushed batches propose (leader) or forward to the leader.
+// At batch size 1 every Submit flushes synchronously, the original
+// request-per-slot behavior.
 func (r *Replica) Submit(req *wire.Request) {
 	if r.clientTable[req.Client] >= req.Seq {
 		return // already executed; a real deployment would re-reply
 	}
+	r.ingress.Submit(req)
+}
+
+// flushBatch receives ingress batches. The role check happens at flush
+// time, not submit time: leadership may have changed while the batch
+// filled.
+func (r *Replica) flushBatch(reqs []*wire.Request) {
 	if !r.IsLeader() {
-		r.env.Send(r.Leader(), req)
+		batch := &wire.Batch{Reqs: make([]wire.Request, len(reqs))}
+		for i, req := range reqs {
+			batch.Reqs[i] = *req
+		}
+		r.env.Send(r.Leader(), batch)
 		return
 	}
 	if r.changing {
-		r.pending = append(r.pending, req)
+		r.pending = append(r.pending, reqs...)
 		return
 	}
-	r.propose(req)
+	r.propose(reqs)
 }
 
-// propose assigns the next slot and runs step 1 of the normal case.
-func (r *Replica) propose(req *wire.Request) {
+// propose assigns the next slot to the batch and runs step 1 of the
+// normal case; the batch rides in the PREPARE (Req + Rest), covered by
+// the leader's signature.
+func (r *Replica) propose(reqs []*wire.Request) {
 	slot := r.nextSlot
 	r.nextSlot++
 	prep := &wire.Prepare{
 		Leader: r.env.ID(),
 		View:   r.view,
 		Slot:   slot,
-		Req:    *req,
+		Req:    *reqs[0],
+	}
+	if len(reqs) > 1 {
+		prep.Rest = make([]wire.Request, len(reqs)-1)
+		for i, req := range reqs[1:] {
+			prep.Rest[i] = *req
+		}
 	}
 	runtime.Sign(r.env, prep)
 	r.env.Metrics().Inc("xpaxos.prepare.sent", 1)
@@ -226,6 +274,16 @@ func (r *Replica) Deliver(from ids.ProcessID, m wire.Message) {
 		// Forwarded client request; only the leader proposes.
 		if r.IsLeader() {
 			r.Submit(msg)
+		}
+	case *wire.Batch:
+		// Forwarded ingress batch; only the leader proposes. Requests
+		// re-enter this replica's ingress, so forwarded traffic batches
+		// on the leader's own policy.
+		if r.IsLeader() {
+			for i := range msg.Reqs {
+				req := msg.Reqs[i]
+				r.Submit(&req)
+			}
 		}
 	case *wire.Prepare:
 		r.onPrepare(msg)
@@ -401,9 +459,9 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 		}
 	}
 	e.committed = true
-	req := e.prep.Req
-	r.committedReq[slot] = &req
-	r.env.Metrics().Inc("xpaxos.committed", 1)
+	reqs := e.prep.Requests()
+	r.committedReq[slot] = reqs
+	r.env.Metrics().Inc("xpaxos.committed", int64(len(reqs)))
 	if start, ok := r.slotStart[slot]; ok {
 		r.env.Metrics().Observe("xpaxos.commit.latency.seconds",
 			(r.env.Now() - start).Seconds())
@@ -460,8 +518,7 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 		r.log.Logf(logging.LevelDebug, "xpaxos: rejecting commit certificate for slot %d", cert.Slot)
 		return
 	}
-	req := prep.Req
-	r.committedReq[cert.Slot] = &req
+	r.committedReq[cert.Slot] = prep.Requests()
 	if cur, ok := r.accepted[cert.Slot]; !ok || prep.View >= cur.View {
 		r.accepted[cert.Slot] = prep
 	}
@@ -469,32 +526,34 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 	r.execute()
 }
 
-// execute applies committed requests in slot order and takes periodic
-// checkpoints.
+// execute applies committed slots in order — and within a slot, the
+// batch's requests in proposal order — taking periodic checkpoints.
 func (r *Replica) execute() {
 	for {
-		req, ok := r.committedReq[r.lastExec+1]
+		reqs, ok := r.committedReq[r.lastExec+1]
 		if !ok {
 			return
 		}
 		r.lastExec++
-		result := r.opts.SM.Apply(req.Op)
-		if req.Seq > r.clientTable[req.Client] {
-			r.clientTable[req.Client] = req.Seq
+		for _, req := range reqs {
+			result := r.opts.SM.Apply(req.Op)
+			if req.Seq > r.clientTable[req.Client] {
+				r.clientTable[req.Client] = req.Seq
+			}
+			exec := Execution{
+				Slot:   r.lastExec,
+				Client: req.Client,
+				Seq:    req.Seq,
+				Op:     append([]byte(nil), req.Op...),
+				Result: result,
+			}
+			r.executions = append(r.executions, exec)
+			r.env.Metrics().Inc("xpaxos.executed", 1)
+			if r.opts.OnExecute != nil {
+				r.opts.OnExecute(exec)
+			}
 		}
-		exec := Execution{
-			Slot:   r.lastExec,
-			Client: req.Client,
-			Seq:    req.Seq,
-			Op:     append([]byte(nil), req.Op...),
-			Result: result,
-		}
-		r.executions = append(r.executions, exec)
-		r.env.Metrics().Inc("xpaxos.executed", 1)
 		runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", float64(r.lastExec-r.ckpt.Slot))
-		if r.opts.OnExecute != nil {
-			r.opts.OnExecute(exec)
-		}
 		if r.opts.CheckpointInterval > 0 && r.lastExec%r.opts.CheckpointInterval == 0 {
 			r.takeCheckpoint()
 		}

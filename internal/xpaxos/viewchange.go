@@ -317,6 +317,9 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 				View:   r.view,
 				Slot:   ls.Slot,
 				Req:    req,
+				// The whole batch re-proposes with its slot; dropping
+				// Rest would silently un-commit the tail requests.
+				Rest:   append([]wire.Request(nil), ls.Prep.Rest...),
 			}
 			runtime.Sign(r.env, prep)
 			r.env.Metrics().Inc("xpaxos.prepare.sent", 1)

@@ -216,6 +216,10 @@ func (c *Cluster) Metrics() *Registry { return c.net.Metrics() }
 // Events returns the cluster's protocol event bus.
 func (c *Cluster) Events() *EventBus { return c.net.Events() }
 
+// Close stops every node through the host lifecycle (heartbeats
+// silenced, timers canceled) and discards queued events. Idempotent.
+func (c *Cluster) Close() { c.net.Close() }
+
 // Agreed reports whether every node currently holds the same quorum,
 // and returns it.
 func (c *Cluster) Agreed() (Quorum, bool) {
@@ -277,6 +281,10 @@ func (s *Simulation) Metrics() *Registry { return s.net.Metrics() }
 // Events returns the run's protocol event bus.
 func (s *Simulation) Events() *EventBus { return s.net.Events() }
 
+// Close stops every node that supports the lifecycle and discards
+// queued events. Idempotent.
+func (s *Simulation) Close() { s.net.Close() }
+
 // FollowerCluster is a simulated Follower Selection deployment.
 type FollowerCluster struct {
 	net   *sim.Network
@@ -311,6 +319,9 @@ func (c *FollowerCluster) Run(until time.Duration) { c.net.Run(until) }
 
 // Now returns the cluster's virtual time.
 func (c *FollowerCluster) Now() time.Duration { return c.net.Now() }
+
+// Close stops every node through the host lifecycle. Idempotent.
+func (c *FollowerCluster) Close() { c.net.Close() }
 
 // Agreed reports whether every node holds the same leader quorum.
 func (c *FollowerCluster) Agreed() (Quorum, bool) {
