@@ -5,7 +5,10 @@ SHELL = /bin/bash
 # lower-variance numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test race vet check clean golden bench
+# Seeds per protocol for `make chaos`.
+CHAOS_SEEDS ?= 50
+
+.PHONY: all build test race vet check clean golden bench chaos
 
 all: build
 
@@ -32,6 +35,12 @@ check:
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
 		| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
+# chaos sweeps CHAOS_SEEDS seeds of the scenario fuzzer per protocol
+# and fails on the first invariant violation, printing the violating
+# seed and its replayable dump (see internal/chaos).
+chaos:
+	$(GO) run ./cmd/chaos -seeds $(CHAOS_SEEDS)
 
 # golden regenerates the Prometheus exposition golden file after an
 # intentional format change.

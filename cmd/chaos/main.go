@@ -1,0 +1,81 @@
+// Command chaos runs the seeded scenario fuzzer from the command line:
+// sweep a seed range across protocol compositions, stop at the first
+// invariant violation, and print its replayable dump — or replay one
+// known seed in full.
+//
+// Usage:
+//
+//	chaos [-seeds n] [-first seed] [-protocol all|qs,xpaxos,...] [-faults all|crash,mutate,...]
+//	chaos -seed 1337 -protocol xpaxos        # replay one seed, dump everything
+//
+// Exit status is 1 when any protocol has a violating seed, so the
+// command can gate CI directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quorumselect/internal/chaos"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", -1, "replay this single seed and print its full dump")
+		seeds     = flag.Int("seeds", 50, "how many consecutive seeds to run per protocol")
+		first     = flag.Int64("first", 0, "first seed of the sweep")
+		protocols = flag.String("protocol", "all", "comma-separated protocols (qs,xpaxos,pbftlite,tendermint) or all")
+		faults    = flag.String("faults", "all", "comma-separated fault classes or all")
+		n         = flag.Int("n", 4, "cluster size")
+		f         = flag.Int("f", 1, "failure threshold")
+		batch     = flag.Int("batch", 1, "replica batch size")
+	)
+	flag.Parse()
+
+	ps, err := chaos.ParseProtocols(*protocols)
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := chaos.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, p := range ps {
+		cfg := chaos.Config{
+			N: *n, F: *f,
+			Protocol:  p,
+			Faults:    fs,
+			BatchSize: *batch,
+			Seeds:     *seeds,
+			FirstSeed: *first,
+		}
+		if *seed >= 0 {
+			dump, v := chaos.Replay(cfg, *seed)
+			fmt.Print(dump)
+			if v != nil {
+				failed = true
+			}
+			continue
+		}
+		res := chaos.Run(cfg)
+		if res.Violation != nil {
+			failed = true
+			fmt.Printf("%-10s FAIL after %d seeds: %v\n", p, res.Seeds, res.Violation)
+			fmt.Print(res.Violation.Dump)
+			fmt.Printf("reproduce: go run ./cmd/chaos -seed %d -protocol %s\n", res.Violation.Seed, p)
+			continue
+		}
+		fmt.Printf("%-10s ok  %d seeds (%d..%d), no violations\n", p, res.Seeds, *first, *first+int64(res.Seeds)-1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaos:", err)
+	os.Exit(1)
+}

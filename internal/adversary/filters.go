@@ -183,7 +183,8 @@ func (p *Partition) Filter(from, to ids.ProcessID, _ wire.Message, now time.Dura
 }
 
 // Chain combines filters: the first verdict that drops wins; delays
-// accumulate.
+// accumulate, duplication is sticky, and mutations compose in filter
+// order (the second mutator sees the first one's output).
 func Chain(filters ...sim.Filter) sim.Filter {
 	return sim.FilterFunc(func(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
 		var total sim.Verdict
@@ -193,6 +194,15 @@ func Chain(filters ...sim.Filter) sim.Filter {
 				return sim.Verdict{Drop: true}
 			}
 			total.Delay += v.Delay
+			total.Duplicate = total.Duplicate || v.Duplicate
+			if v.Mutate != nil {
+				if prev := total.Mutate; prev != nil {
+					next := v.Mutate
+					total.Mutate = func(frame []byte) []byte { return next(prev(frame)) }
+				} else {
+					total.Mutate = v.Mutate
+				}
+			}
 		}
 		return total
 	})

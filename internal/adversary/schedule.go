@@ -1,0 +1,130 @@
+package adversary
+
+import (
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/wire"
+)
+
+// Window restricts a filter to the virtual-time interval [From, Until):
+// outside it, messages pass untouched. A zero Until means forever.
+// Windows turn the package's steady-state fault models into scheduled
+// scenario pieces — a partition that opens at 2s and heals at 5s is
+// Window{From: 2s, Until: 5s, Inner: LinkOmission(...)} — which is how
+// the chaos scenario generator composes its fault timeline.
+type Window struct {
+	From  time.Duration
+	Until time.Duration
+	Inner sim.Filter
+}
+
+var _ sim.Filter = (*Window)(nil)
+
+// Filter implements sim.Filter.
+func (w *Window) Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
+	if now < w.From || (w.Until > 0 && now >= w.Until) {
+		return sim.Verdict{}
+	}
+	return w.Inner.Filter(from, to, m, now)
+}
+
+// Links restricts a filter to messages whose sender is in From (empty
+// means any) and whose receiver is in To (empty means any). It scopes a
+// fault model to the faulty links the scenario chose — e.g. duplication
+// only on links out of one faulty process.
+type Links struct {
+	From  ids.ProcSet
+	To    ids.ProcSet
+	Inner sim.Filter
+}
+
+var _ sim.Filter = (*Links)(nil)
+
+// Filter implements sim.Filter.
+func (l *Links) Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
+	if !l.From.Empty() && !l.From.Contains(from) {
+		return sim.Verdict{}
+	}
+	if !l.To.Empty() && !l.To.Contains(to) {
+		return sim.Verdict{}
+	}
+	return l.Inner.Filter(from, to, m, now)
+}
+
+// Duplicator replays every Every-th message sent by a faulty process: a
+// faulty link delivering a frame twice. Protocol handlers must be
+// idempotent for safety to survive it.
+type Duplicator struct {
+	Faulty ids.ProcSet
+	Every  int
+	count  int
+}
+
+var _ sim.Filter = (*Duplicator)(nil)
+
+// Filter implements sim.Filter.
+func (d *Duplicator) Filter(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+	if !d.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	if d.Every < 1 {
+		d.Every = 1
+	}
+	d.count++
+	return sim.Verdict{Duplicate: d.count%d.Every == 0}
+}
+
+// Mutator corrupts every Every-th frame sent by a faulty process with
+// wire.MutateFrame — the §II commission failure: a Byzantine sender
+// emitting flipped fields, truncations, or forged signatures. Rng must
+// be a private seeded source; the simulator calls the returned Mutate
+// hook synchronously, so mutation order (and hence the run) stays
+// deterministic.
+type Mutator struct {
+	Faulty ids.ProcSet
+	Every  int
+	Rng    *rand.Rand
+	count  int
+}
+
+var _ sim.Filter = (*Mutator)(nil)
+
+// Filter implements sim.Filter.
+func (mu *Mutator) Filter(from, _ ids.ProcessID, _ wire.Message, _ time.Duration) sim.Verdict {
+	if !mu.Faulty.Contains(from) {
+		return sim.Verdict{}
+	}
+	if mu.Every < 1 {
+		mu.Every = 1
+	}
+	mu.count++
+	if mu.count%mu.Every != 0 {
+		return sim.Verdict{}
+	}
+	return sim.Verdict{Mutate: func(frame []byte) []byte {
+		return wire.MutateFrame(mu.Rng, frame)
+	}}
+}
+
+// Kinds restricts a filter to the listed message types — letting a
+// scenario corrupt only protocol traffic while sparing, say, client
+// requests that are never retransmitted.
+type Kinds struct {
+	Types []wire.Type
+	Inner sim.Filter
+}
+
+var _ sim.Filter = (*Kinds)(nil)
+
+// Filter implements sim.Filter.
+func (k *Kinds) Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
+	for _, t := range k.Types {
+		if m.Kind() == t {
+			return k.Inner.Filter(from, to, m, now)
+		}
+	}
+	return sim.Verdict{}
+}

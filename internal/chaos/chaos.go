@@ -1,0 +1,318 @@
+// Package chaos is a seeded, fully deterministic scenario fuzzer for
+// the quorum-selection stack. From a single int64 seed it derives a
+// complete fault schedule (GenerateScenario), executes it against a
+// simulated cluster of any supported protocol composition, and checks a
+// suite of pluggable safety and liveness invariants online while the
+// faults play out. Because every source of randomness flows from the
+// seed and the simulator is single-threaded, a violating seed replays
+// byte-for-byte: Run reports the first bad seed, and Replay reproduces
+// its full trace dump on demand.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/trace"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// probeClient is the reserved client id for post-fault liveness probes;
+// workload clients are small integers, so it can never collide.
+const probeClient uint64 = 0xC4A05
+
+// probeCount is how many liveness probes are submitted once faults
+// settle.
+const probeCount = 4
+
+// Dump size bounds: the tail of each stream is what localizes a
+// violation; unbounded dumps would bury it.
+const (
+	dumpEvents = 200
+	dumpTrace  = 120
+)
+
+// Config parameterizes a chaos campaign.
+type Config struct {
+	// N, F are the cluster parameters (default 4, 1).
+	N, F int
+	// Protocol selects the composition under test (default ProtocolQS).
+	Protocol Protocol
+	// Faults restricts the fault classes the generator draws from
+	// (default: all).
+	Faults []FaultClass
+	// Seeds is how many consecutive seeds Run executes (default 1).
+	Seeds int
+	// FirstSeed is the first seed of the campaign.
+	FirstSeed int64
+	// BatchSize is the replica batch size for batching protocols
+	// (default 1).
+	BatchSize int
+	// Requests is the workload size submitted while faults are active
+	// (default 30; ignored for the core-only protocol).
+	Requests int
+	// FaultEnd is when every generated fault window has closed (default
+	// 8s). Settle is when suspicions are assumed stable and liveness
+	// probes go out (default 18s); Horizon ends the run (default 28s).
+	// Slice is the online-checker cadence (default 500ms).
+	FaultEnd, Settle, Horizon, Slice time.Duration
+	// Checkers overrides the protocol's default invariant suite.
+	Checkers []Checker
+	// TamperHistory, when set, rewrites a replica's execution history
+	// before the checkers see it. Test-only: it exists so the harness's
+	// own tests can inject an agreement bug and prove the fuzzer catches
+	// it.
+	TamperHistory func(p ids.ProcessID, h []xpaxos.Execution) []xpaxos.Execution
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N, c.F = 4, 1
+	}
+	if c.Protocol == "" {
+		c.Protocol = ProtocolQS
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.Requests == 0 {
+		c.Requests = 30
+	}
+	if c.FaultEnd == 0 {
+		c.FaultEnd = 8 * time.Second
+	}
+	if c.Settle == 0 {
+		c.Settle = 18 * time.Second
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 28 * time.Second
+	}
+	if c.Slice == 0 {
+		c.Slice = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Violation is one invariant breach, pinned to the seed that reproduces
+// it.
+type Violation struct {
+	Seed    int64
+	Checker string
+	At      time.Duration
+	Detail  string
+	// Dump is the replayable evidence: fault schedule, violation, and
+	// the tails of the observability and trace streams. It is
+	// byte-identical across replays of the same seed.
+	Dump string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("chaos: seed %d violates %s at %s: %s", v.Seed, v.Checker, v.At, v.Detail)
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Protocol Protocol
+	// Seeds is how many seeds actually executed (the campaign stops at
+	// the first violation).
+	Seeds int
+	// Violation is the first breach found, nil if every seed passed.
+	Violation *Violation
+}
+
+// Run executes cfg.Seeds consecutive seeds starting at cfg.FirstSeed
+// and stops at the first invariant violation, returning it with a
+// replayable dump.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.FirstSeed + int64(i)
+		if v, _ := runSeed(cfg, seed, false); v != nil {
+			return Result{Protocol: cfg.Protocol, Seeds: i + 1, Violation: v}
+		}
+	}
+	return Result{Protocol: cfg.Protocol, Seeds: cfg.Seeds}
+}
+
+// RunSeed executes one seed and returns its violation, if any.
+func RunSeed(cfg Config, seed int64) *Violation {
+	v, _ := runSeed(cfg.withDefaults(), seed, false)
+	return v
+}
+
+// Replay executes one seed and returns the full trace dump regardless
+// of outcome — the reproduction path for a seed Run reported.
+func Replay(cfg Config, seed int64) (string, *Violation) {
+	v, dump := runSeed(cfg.withDefaults(), seed, true)
+	return dump, v
+}
+
+// RunState is the live run handed to checkers: the scenario being
+// injected, the cluster under test, and the harness's own bookkeeping.
+type RunState struct {
+	Config   Config
+	Scenario *Scenario
+	cluster  *cluster
+	// probes is how many liveness probes went out (0 until PhaseSettled).
+	probes int
+}
+
+// history returns p's replicated history as the checkers should see it,
+// with the test-only tamper hook applied.
+func (r *RunState) history(p ids.ProcessID) []xpaxos.Execution {
+	m := r.cluster.members[p]
+	if m.history == nil {
+		return nil
+	}
+	h := m.history()
+	if r.Config.TamperHistory != nil {
+		h = r.Config.TamperHistory(p, h)
+	}
+	return h
+}
+
+// submit hands a request to the first correct running member — the
+// stand-in for a client that retries against a live replica.
+func (r *RunState) submit(req *wire.Request) {
+	for _, p := range r.cluster.cfg.All() {
+		m := r.cluster.members[p]
+		if r.Scenario.Faulty.Contains(p) || !m.running() || m.submit == nil {
+			continue
+		}
+		m.submit(req)
+		return
+	}
+}
+
+// runSeed generates, executes, and checks one scenario.
+func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string) {
+	idsCfg := ids.MustConfig(cfg.N, cfg.F)
+	sc := GenerateScenario(idsCfg, seed, cfg.Faults, cfg.Protocol.restartable(), cfg.FaultEnd)
+	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, seed, sc.Filter)
+	defer cl.net.Close()
+
+	rs := &RunState{Config: cfg, Scenario: sc, cluster: cl}
+	checkers := cfg.Checkers
+	if checkers == nil {
+		checkers = defaultCheckers(cfg.Protocol)
+	}
+
+	// Crash/restart churn from the scenario, on the virtual clock.
+	for _, plan := range sc.Crashes {
+		p := plan.Proc
+		cl.net.At(plan.At, func() { cl.net.StopProcess(p) })
+		if plan.RestartAt > 0 {
+			restartAt := plan.RestartAt
+			cl.net.At(restartAt, func() { cl.net.RestartProcess(p) })
+		}
+	}
+
+	// Workload, spread across the fault window so requests commit while
+	// links drop, frames mutate, and processes churn.
+	if cfg.Protocol.smr() && cfg.Requests > 0 {
+		gap := cfg.FaultEnd / time.Duration(cfg.Requests+1)
+		for i := 1; i <= cfg.Requests; i++ {
+			req := &wire.Request{
+				Client: uint64(1 + (i-1)%3),
+				Seq:    uint64(1 + (i-1)/3),
+				Op:     []byte(fmt.Sprintf("set k%d v%d", i, i)),
+			}
+			cl.net.At(time.Duration(i)*gap, func() { rs.submit(req) })
+		}
+	}
+
+	// Drive virtual time in slices, evaluating checkers at every
+	// boundary; one slice is promoted to PhaseSettled once faults are
+	// over, which also launches the liveness probes.
+	var violation *Violation
+	settled := false
+	for t := cfg.Slice; violation == nil && t <= cfg.Horizon; t += cfg.Slice {
+		cl.net.Run(t)
+		phase := PhaseOnline
+		if !settled && t >= cfg.Settle {
+			settled = true
+			phase = PhaseSettled
+			if cfg.Protocol.checksLiveness() {
+				for i := 1; i <= probeCount; i++ {
+					rs.submit(&wire.Request{
+						Client: probeClient,
+						Seq:    uint64(i),
+						Op:     []byte(fmt.Sprintf("set probe p%d", i)),
+					})
+				}
+				rs.probes = probeCount
+			}
+		}
+		violation = runCheckers(checkers, rs, phase, seed)
+	}
+	if violation == nil {
+		violation = runCheckers(checkers, rs, PhaseFinal, seed)
+	}
+
+	var dump string
+	if violation != nil || alwaysDump {
+		dump = rs.dump(violation)
+	}
+	if violation != nil {
+		violation.Dump = dump
+	}
+	return violation, dump
+}
+
+// runCheckers evaluates the suite and converts the first failure into a
+// Violation.
+func runCheckers(checkers []Checker, rs *RunState, phase Phase, seed int64) *Violation {
+	for _, ch := range checkers {
+		if err := ch.Check(rs, phase); err != nil {
+			return &Violation{
+				Seed:    seed,
+				Checker: ch.Name(),
+				At:      rs.cluster.net.Now(),
+				Detail:  err.Error(),
+			}
+		}
+	}
+	return nil
+}
+
+// dump renders the replayable evidence for a run. Everything in it is a
+// function of the seed — virtual timestamps, deterministic event
+// strings — so two replays of the same seed produce identical bytes.
+func (r *RunState) dump(v *Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: protocol=%s seed=%d n=%d f=%d\n",
+		r.Config.Protocol, r.Scenario.Seed, r.Config.N, r.Config.F)
+	b.WriteString("schedule:\n")
+	for _, d := range r.Scenario.Desc {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if v != nil {
+		fmt.Fprintf(&b, "violation: checker=%s at=%s\n  %s\n", v.Checker, v.At, v.Detail)
+	} else {
+		b.WriteString("no violation\n")
+	}
+	evs := r.cluster.bus.Events()
+	if len(evs) > dumpEvents {
+		evs = evs[len(evs)-dumpEvents:]
+	}
+	fmt.Fprintf(&b, "events (last %d):\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	tes := r.cluster.rec.Events(trace.Filter{})
+	if len(tes) > dumpTrace {
+		tes = tes[len(tes)-dumpTrace:]
+	}
+	fmt.Fprintf(&b, "trace (last %d):\n", len(tes))
+	for _, e := range tes {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"quorumselect/internal/ids"
+)
+
+// Phase tells a checker where in the run it is being evaluated.
+type Phase int
+
+const (
+	// PhaseOnline is a periodic check while faults may still be active:
+	// only invariants that hold at every instant belong here.
+	PhaseOnline Phase = iota
+	// PhaseSettled runs once, after faults have stopped and the settle
+	// time has passed; checkers snapshot state to compare at PhaseFinal.
+	PhaseSettled
+	// PhaseFinal runs once at the end of the horizon.
+	PhaseFinal
+)
+
+// Checker is one pluggable invariant, evaluated against live node state
+// during a run. A non-nil error is a violation and aborts the seed.
+type Checker interface {
+	Name() string
+	Check(r *RunState, phase Phase) error
+}
+
+// defaultCheckers assembles the invariant suite for a protocol.
+func defaultCheckers(p Protocol) []Checker {
+	cs := []Checker{
+		&noSuspicionChecker{},
+		&accuracyChecker{},
+		&completenessChecker{},
+	}
+	if p.settles() {
+		cs = append(cs, &agreementChecker{}, &terminationChecker{})
+	}
+	if p.smr() {
+		cs = append(cs, &historyChecker{})
+	}
+	if p.checksLiveness() {
+		cs = append(cs, &livenessChecker{})
+	}
+	return cs
+}
+
+// noSuspicionChecker verifies the paper's No suspicion property at
+// every instant: each process's current quorum is an independent set of
+// its own suspect graph, so no current suspicion connects two quorum
+// members. The selector re-evaluates synchronously on every store
+// change, so between simulator events the invariant must hold exactly.
+type noSuspicionChecker struct{}
+
+func (noSuspicionChecker) Name() string { return "no-suspicion" }
+
+func (noSuspicionChecker) Check(r *RunState, _ Phase) error {
+	for _, p := range r.cluster.cfg.All() {
+		m := r.cluster.members[p]
+		if !m.running() || m.host.Store == nil {
+			continue
+		}
+		q := m.host.CurrentQuorum()
+		if !m.host.Store.SuspectGraph().IsIndependentSet(q.Members) {
+			return fmt.Errorf("%s: quorum %s is not an independent set of the suspect graph %s",
+				p, q, m.host.Store.SuspectGraph())
+		}
+	}
+	return nil
+}
+
+// accuracyChecker verifies detector accuracy: DETECTED is permanent, so
+// no process may ever permanently detect a correct (never-faulty)
+// process. Faulty processes are fair game — detecting them is the
+// point.
+type accuracyChecker struct{}
+
+func (accuracyChecker) Name() string { return "detector-accuracy" }
+
+func (accuracyChecker) Check(r *RunState, _ Phase) error {
+	for _, p := range r.cluster.cfg.All() {
+		m := r.cluster.members[p]
+		if !m.running() {
+			continue
+		}
+		for _, q := range r.cluster.cfg.All() {
+			if r.Scenario.Faulty.Contains(q) {
+				continue
+			}
+			if m.host.Detector.IsDetected(q) {
+				return fmt.Errorf("%s permanently DETECTED correct process %s", p, q)
+			}
+		}
+	}
+	return nil
+}
+
+// completenessChecker verifies detection completeness for crash
+// failures: once faults have settled, every running process suspects
+// every permanently crashed process (its standing heartbeat expectation
+// can never match again).
+type completenessChecker struct{}
+
+func (completenessChecker) Name() string { return "detector-completeness" }
+
+func (completenessChecker) Check(r *RunState, phase Phase) error {
+	if phase != PhaseFinal {
+		return nil
+	}
+	for _, crashed := range r.cluster.cfg.All() {
+		if !r.Scenario.CrashedForever(crashed) {
+			continue
+		}
+		for _, p := range r.cluster.cfg.All() {
+			m := r.cluster.members[p]
+			if !m.running() {
+				continue
+			}
+			if !m.host.Detector.Suspected().Contains(crashed) {
+				return fmt.Errorf("%s does not suspect crashed process %s at end of run", p, crashed)
+			}
+		}
+	}
+	return nil
+}
+
+// agreementChecker verifies quorum-selection Agreement: after faults
+// stop and suspicions settle, every correct process converges on the
+// same quorum. Restarted processes are excluded: a process that was
+// down missed UPDATE broadcasts the paper's reliable channels would
+// have delivered, which is outside the model (the store gossips rows
+// only on change, so there is no anti-entropy to catch it up).
+type agreementChecker struct{}
+
+func (agreementChecker) Name() string { return "qs-agreement" }
+
+func (agreementChecker) Check(r *RunState, phase Phase) error {
+	if phase != PhaseFinal {
+		return nil
+	}
+	var ref *ids.Quorum
+	var refProc ids.ProcessID
+	for _, p := range r.cluster.cfg.All() {
+		m := r.cluster.members[p]
+		if !m.running() || m.host.Store == nil || r.Scenario.Restarted(p) {
+			continue
+		}
+		q := m.host.CurrentQuorum()
+		if ref == nil {
+			ref, refProc = &q, p
+			continue
+		}
+		if !q.Equal(*ref) {
+			return fmt.Errorf("quorum disagreement after settling: %s has %s, %s has %s",
+				refProc, *ref, p, q)
+		}
+	}
+	return nil
+}
+
+// terminationChecker verifies quorum-selection Termination in its
+// testable form: once suspicions stop changing (faults over, settle
+// time passed), no process issues another quorum. It snapshots issued
+// counts at PhaseSettled and demands no growth by PhaseFinal.
+type terminationChecker struct {
+	snap map[ids.ProcessID]int
+}
+
+func (*terminationChecker) Name() string { return "qs-termination" }
+
+func (t *terminationChecker) Check(r *RunState, phase Phase) error {
+	switch phase {
+	case PhaseSettled:
+		t.snap = make(map[ids.ProcessID]int, r.cluster.cfg.N)
+		for _, p := range r.cluster.cfg.All() {
+			m := r.cluster.members[p]
+			if m.running() && m.host.Store != nil {
+				t.snap[p] = len(m.host.Quorums())
+			}
+		}
+	case PhaseFinal:
+		if t.snap == nil {
+			return nil
+		}
+		for _, p := range r.cluster.cfg.All() {
+			m := r.cluster.members[p]
+			if !m.running() || m.host.Store == nil || r.Scenario.Restarted(p) {
+				continue
+			}
+			was, ok := t.snap[p]
+			if !ok {
+				continue
+			}
+			if now := len(m.host.Quorums()); now > was {
+				return fmt.Errorf("%s issued %d quorums after suspicions settled", p, now-was)
+			}
+		}
+	}
+	return nil
+}
+
+// historyChecker verifies cross-replica replicated-history agreement:
+// at every instant, any two replicas' execution histories must be
+// prefix-consistent — one is a prefix of the other, element for
+// element. Crashed replicas keep their frozen prefix and stay in the
+// comparison.
+type historyChecker struct{}
+
+func (historyChecker) Name() string { return "history-agreement" }
+
+func (historyChecker) Check(r *RunState, _ Phase) error {
+	procs := r.cluster.cfg.All()
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			a, b := r.history(procs[i]), r.history(procs[j])
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for k := 0; k < n; k++ {
+				if a[k].Slot != b[k].Slot || a[k].Client != b[k].Client ||
+					a[k].Seq != b[k].Seq || !bytes.Equal(a[k].Op, b[k].Op) ||
+					!bytes.Equal(a[k].Result, b[k].Result) {
+					return fmt.Errorf(
+						"histories diverge at index %d: %s executed slot=%d client=%d seq=%d, %s executed slot=%d client=%d seq=%d",
+						k, procs[i], a[k].Slot, a[k].Client, a[k].Seq,
+						procs[j], b[k].Slot, b[k].Client, b[k].Seq)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// livenessChecker verifies post-fault progress: probe requests
+// submitted after the faults settled must all execute somewhere by the
+// end of the horizon. It demands progress of the system, not of every
+// replica — a non-quorum replica may legitimately trail until lazy
+// replication or catch-up reaches it.
+type livenessChecker struct{}
+
+func (livenessChecker) Name() string { return "liveness" }
+
+func (livenessChecker) Check(r *RunState, phase Phase) error {
+	if phase != PhaseFinal || r.probes == 0 {
+		return nil
+	}
+	best, bestProc := -1, ids.ProcessID(0)
+	for _, p := range r.cluster.cfg.All() {
+		seen := make(map[uint64]bool)
+		for _, e := range r.history(p) {
+			if e.Client == probeClient {
+				seen[e.Seq] = true
+			}
+		}
+		if len(seen) > best {
+			best, bestProc = len(seen), p
+		}
+	}
+	if best < r.probes {
+		return fmt.Errorf("only %d of %d post-fault probes executed (best replica %s)",
+			best, r.probes, bestProc)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/host"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/obs"
+	"quorumselect/internal/pbftlite"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/tendermint"
+	"quorumselect/internal/trace"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// Protocol names a cluster composition the harness can fuzz.
+type Protocol string
+
+// The compositions under test.
+const (
+	// ProtocolQS is the core-only quorum-selection stack (no
+	// application): Figure 1 without an SMR on top. The only cluster
+	// whose crash faults may restart, because Host.Init rebuilds all
+	// protocol state from scratch.
+	ProtocolQS Protocol = "qs"
+	// ProtocolXPaxos is XPaxos composed with quorum selection.
+	ProtocolXPaxos Protocol = "xpaxos"
+	// ProtocolPBFT is the PBFT-style ActiveQuorum replica composed with
+	// quorum selection. It has no view-change recovery for dropped
+	// slots, so the harness checks safety only.
+	ProtocolPBFT Protocol = "pbftlite"
+	// ProtocolTendermint is the tendermint-style replica composed with
+	// quorum selection.
+	ProtocolTendermint Protocol = "tendermint"
+)
+
+// AllProtocols returns every protocol, in stable order.
+func AllProtocols() []Protocol {
+	return []Protocol{ProtocolQS, ProtocolXPaxos, ProtocolPBFT, ProtocolTendermint}
+}
+
+// ParseProtocols parses a comma-separated protocol list; "all" or ""
+// selects every protocol.
+func ParseProtocols(s string) ([]Protocol, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return AllProtocols(), nil
+	}
+	known := make(map[Protocol]bool)
+	for _, p := range AllProtocols() {
+		known[p] = true
+	}
+	var out []Protocol
+	for _, part := range strings.Split(s, ",") {
+		p := Protocol(strings.TrimSpace(part))
+		if !known[p] {
+			return nil, fmt.Errorf("chaos: unknown protocol %q", p)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// restartable reports whether crash faults may re-Init processes of
+// this protocol. Only the core-only stack rebuilds every module fresh
+// in Init; re-Initing an SMR replica would resurrect it with partial
+// amnesia the protocols were never designed to handle.
+func (p Protocol) restartable() bool { return p == ProtocolQS }
+
+// smr reports whether the protocol carries a replicated history.
+func (p Protocol) smr() bool { return p != ProtocolQS }
+
+// checksLiveness reports whether the harness may demand post-fault
+// progress. pbftlite is excluded: without view changes, one dropped
+// PRE-PREPARE stalls in-order execution forever by design.
+func (p Protocol) checksLiveness() bool {
+	return p == ProtocolXPaxos || p == ProtocolTendermint
+}
+
+// settles reports whether the composition quiesces once faults stop,
+// which is what the quorum-selection Agreement and Termination checks
+// assume. pbftlite is excluded for the same reason it skips liveness: a
+// slot stuck on a dropped PRE-PREPARE keeps failing protocol-level
+// expectations forever, so suspicions — and with them quorums — keep
+// churning by design and never converge.
+func (p Protocol) settles() bool { return p != ProtocolPBFT }
+
+// member is one process of a chaos cluster: the simulator-facing node
+// plus the protocol-generic inspection hooks the checkers use.
+type member struct {
+	node    runtime.Node
+	host    *host.Host
+	submit  func(*wire.Request)
+	history func() []xpaxos.Execution
+}
+
+// running reports whether the member's host is live (not crashed).
+func (m *member) running() bool { return m.host.State() == host.StateRunning }
+
+// cluster is one simulated system under chaos: n composed processes,
+// the network, and the run's recorders.
+type cluster struct {
+	cfg      ids.Config
+	protocol Protocol
+	net      *sim.Network
+	members  map[ids.ProcessID]*member
+	rec      *trace.Recorder
+	bus      *obs.Bus
+}
+
+// newCluster builds the protocol's composition for every process and
+// wires it into a seeded simulated network. All runs authenticate with
+// a real (HMAC) ring: chaos mutates frames, and only unforgeable
+// signatures make "a corrupted signed message is dropped, not
+// attributed" hold the way the paper assumes.
+func newCluster(cfg ids.Config, protocol Protocol, batchSize int, seed int64, filter sim.Filter) *cluster {
+	c := &cluster{
+		cfg:      cfg,
+		protocol: protocol,
+		members:  make(map[ids.ProcessID]*member, cfg.N),
+		bus:      obs.NewBus(0),
+	}
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	for _, p := range cfg.All() {
+		m := c.newMember(batchSize)
+		c.members[p] = m
+		nodes[p] = m.node
+	}
+	// The recorder's clock closes over the network pointer, which is
+	// assigned right after — by the time anything logs, it is set.
+	c.rec = trace.NewRecorder(func() time.Duration { return c.net.Now() }, logging.LevelDebug)
+	c.net = sim.NewNetwork(cfg, nodes, sim.Options{
+		Seed:    seed,
+		Latency: sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond),
+		Filter:  filter,
+		Auth:    crypto.NewHMACRing(cfg, []byte("chaos-master")),
+		Logger:  c.rec,
+		Events:  c.bus,
+	})
+	return c
+}
+
+// newMember composes one process of the cluster's protocol.
+func (c *cluster) newMember(batchSize int) *member {
+	switch c.protocol {
+	case ProtocolQS:
+		n := core.NewNode(core.DefaultNodeOptions())
+		return &member{node: n, host: n.Host}
+	case ProtocolXPaxos:
+		n, r := xpaxos.NewQSNode(xpaxos.Options{
+			CheckpointInterval: 8,
+			BatchSize:          batchSize,
+		}, core.DefaultNodeOptions())
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+	case ProtocolPBFT:
+		n, r := pbftlite.NewQSNode(pbftlite.Options{}, core.DefaultNodeOptions())
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+	case ProtocolTendermint:
+		n, r := tendermint.NewQSNode(tendermint.Options{
+			BatchSize: batchSize,
+		}, core.DefaultNodeOptions())
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+	default:
+		panic(fmt.Sprintf("chaos: unknown protocol %q", c.protocol))
+	}
+}

@@ -1,11 +1,18 @@
 package host
 
 import (
+	"errors"
 	"time"
 
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
+
+// ErrStopped is returned by Submit once the ingress has been stopped:
+// the request was not buffered and will never flush. Callers that
+// outlive the host lifecycle (client frontends, retry loops) use it to
+// redirect instead of silently losing the request.
+var ErrStopped = errors.New("host: ingress stopped")
 
 // DefaultMaxBatchLatency bounds how long a submitted request may sit in
 // the ingress buffer before a flush is forced, independent of batch
@@ -72,15 +79,15 @@ func (in *Ingress) Pending() int { return len(in.buf) }
 // batch flushes synchronously (so at BatchSize 1 Submit degenerates to
 // a direct call into flush, matching the unbatched proposal path);
 // otherwise a max-latency flush timer is armed for the first request of
-// the batch.
-func (in *Ingress) Submit(req *wire.Request) {
+// the batch. After Stop it buffers nothing and returns ErrStopped.
+func (in *Ingress) Submit(req *wire.Request) error {
 	if in.stopped {
-		return
+		return ErrStopped
 	}
 	in.buf = append(in.buf, req)
 	if len(in.buf) >= in.opts.BatchSize {
 		in.Flush()
-		return
+		return nil
 	}
 	if in.timer == nil {
 		in.timer = in.env.After(in.opts.MaxLatency, func() {
@@ -88,6 +95,7 @@ func (in *Ingress) Submit(req *wire.Request) {
 			in.Flush()
 		})
 	}
+	return nil
 }
 
 // Flush delivers the buffered batch, if any, canceling a pending

@@ -1,0 +1,121 @@
+package host_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"quorumselect/internal/host"
+	"quorumselect/internal/wire"
+)
+
+// TestIngressEdgeCases pins down the ingress corner behaviors the happy
+// paths never exercise: the flush timer racing Stop, empty-batch
+// suppression, and the post-Stop Submit contract.
+func TestIngressEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{
+			// A max-latency timer armed before Stop must not fire a batch
+			// after it: Stop wins the race however late the timer lands.
+			name: "flush timer racing stop",
+			run: func(t *testing.T) {
+				net, env := newEnv(t)
+				var flushes int
+				in := host.NewIngress(env, host.IngressOptions{BatchSize: 8, MaxLatency: 10 * time.Millisecond},
+					func([]*wire.Request) { flushes++ })
+				if err := in.Submit(mkReq(1)); err != nil {
+					t.Fatalf("Submit: %v", err)
+				}
+				// Stop lands between timer arm and timer fire.
+				net.At(5*time.Millisecond, func() { in.Stop() })
+				net.Run(50 * time.Millisecond)
+				if flushes != 0 {
+					t.Fatalf("flush fired %d times after Stop", flushes)
+				}
+				if in.Pending() != 0 {
+					t.Fatalf("stopped ingress still buffers %d requests", in.Pending())
+				}
+			},
+		},
+		{
+			// Even if the timer callback itself runs after Stop (Stop from
+			// inside the timer's own flush), nothing is delivered.
+			name: "stop from inside flush",
+			run: func(t *testing.T) {
+				net, env := newEnv(t)
+				var in *host.Ingress
+				var flushes int
+				in = host.NewIngress(env, host.IngressOptions{BatchSize: 2, MaxLatency: time.Second},
+					func([]*wire.Request) {
+						flushes++
+						in.Stop()
+						in.Flush() // re-entrant flush after stop: must be a no-op
+					})
+				in.Submit(mkReq(1))
+				in.Submit(mkReq(2))
+				net.Run(10 * time.Millisecond)
+				if flushes != 1 {
+					t.Fatalf("flush ran %d times, want exactly 1", flushes)
+				}
+			},
+		},
+		{
+			// Flush with nothing buffered must not call the callback: a
+			// zero-length batch would make protocols propose empty slots.
+			name: "zero-length batch suppressed",
+			run: func(t *testing.T) {
+				net, env := newEnv(t)
+				var flushes int
+				in := host.NewIngress(env, host.IngressOptions{BatchSize: 4, MaxLatency: 5 * time.Millisecond},
+					func(reqs []*wire.Request) {
+						if len(reqs) == 0 {
+							t.Fatal("flushed a zero-length batch")
+						}
+						flushes++
+					})
+				in.Flush() // nothing buffered at all
+				in.Submit(mkReq(1))
+				in.Flush() // drains the single request
+				in.Flush() // drained: nothing again
+				// The max-latency timer from Submit may still fire; it must
+				// find the buffer empty and stay silent.
+				net.Run(50 * time.Millisecond)
+				if flushes != 1 {
+					t.Fatalf("flush delivered %d batches, want 1", flushes)
+				}
+			},
+		},
+		{
+			// Submit after Stop returns ErrStopped and buffers nothing —
+			// the clean-error contract callers rely on to redirect clients.
+			name: "submit after stop returns ErrStopped",
+			run: func(t *testing.T) {
+				net, env := newEnv(t)
+				var flushes int
+				in := host.NewIngress(env, host.IngressOptions{BatchSize: 1},
+					func([]*wire.Request) { flushes++ })
+				if err := in.Submit(mkReq(1)); err != nil {
+					t.Fatalf("Submit before Stop: %v", err)
+				}
+				in.Stop()
+				in.Stop() // idempotent
+				if err := in.Submit(mkReq(2)); !errors.Is(err, host.ErrStopped) {
+					t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+				}
+				if in.Pending() != 0 {
+					t.Fatalf("post-stop submit buffered a request (pending=%d)", in.Pending())
+				}
+				net.Run(20 * time.Millisecond)
+				if flushes != 1 {
+					t.Fatalf("flush ran %d times, want only the pre-stop one", flushes)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/wire"
+)
+
+// burst sends seqs 1..count from p1 to p2 and returns p2's delivery log.
+func burst(t *testing.T, opts Options, count int) []string {
+	t.Helper()
+	net, echoes := newEchoNet(t, 4, 1, opts)
+	for i := 1; i <= count; i++ {
+		net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: uint64(i)})
+	}
+	net.Run(time.Second)
+	return echoes[2].received
+}
+
+// jitter is wide enough that send order and latency order disagree for
+// a same-instant burst unless the FIFO clamp intervenes.
+func jitter() LatencyModel {
+	return UniformLatency(1*time.Millisecond, 50*time.Millisecond)
+}
+
+func inOrder(log []string) bool {
+	for i, s := range log {
+		if !strings.HasPrefix(s, fmt.Sprintf("p1/%d@", i+1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReorderDefaultUnchanged pins the default channel model: without
+// the opt-in flag, per-link FIFO holds under jittery latency, and the
+// delivery trace is byte-identical to the same run with an explicit
+// AllowReorder: false — the flag's zero value changes nothing.
+func TestReorderDefaultUnchanged(t *testing.T) {
+	const count = 30
+	def := burst(t, Options{Seed: 7, Latency: jitter()}, count)
+	explicit := burst(t, Options{Seed: 7, Latency: jitter(), AllowReorder: false}, count)
+	if len(def) != count {
+		t.Fatalf("received %d, want %d", len(def), count)
+	}
+	if !inOrder(def) {
+		t.Fatalf("default mode violated per-link FIFO: %v", def)
+	}
+	for i := range def {
+		if def[i] != explicit[i] {
+			t.Fatalf("explicit AllowReorder:false diverged at %d: %q vs %q", i, def[i], explicit[i])
+		}
+	}
+}
+
+// TestReorderOptIn proves the flag actually opens the reordering space:
+// the same seeded workload that is in-order by clamping arrives
+// latency-ordered, with at least one inversion.
+func TestReorderOptIn(t *testing.T) {
+	got := burst(t, Options{Seed: 7, Latency: jitter(), AllowReorder: true}, 30)
+	if len(got) != 30 {
+		t.Fatalf("received %d, want 30", len(got))
+	}
+	if inOrder(got) {
+		t.Fatalf("AllowReorder run stayed in send order; flag is not reaching the clamp: %v", got)
+	}
+}
+
+// TestReorderDeterministic: reordering mode is still fully seeded.
+func TestReorderDeterministic(t *testing.T) {
+	a := burst(t, Options{Seed: 11, Latency: jitter(), AllowReorder: true}, 25)
+	b := burst(t, Options{Seed: 11, Latency: jitter(), AllowReorder: true}, 25)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reorder runs diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDuplicateVerdict: a Duplicate verdict delivers exactly two copies,
+// each with its own latency draw.
+func TestDuplicateVerdict(t *testing.T) {
+	opts := Options{
+		Seed:    3,
+		Latency: jitter(),
+		Filter: FilterFunc(func(from, to ids.ProcessID, m wire.Message, now time.Duration) Verdict {
+			return Verdict{Duplicate: true}
+		}),
+	}
+	net, echoes := newEchoNet(t, 4, 1, opts)
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 5})
+	net.Run(time.Second)
+	got := echoes[2].received
+	if len(got) != 2 {
+		t.Fatalf("received %v, want two copies", got)
+	}
+	for _, s := range got {
+		if !strings.HasPrefix(s, "p1/5@") {
+			t.Fatalf("unexpected delivery %q", s)
+		}
+	}
+	if net.Metrics().Counter("msg.duplicated.total") != 1 {
+		t.Errorf("msg.duplicated.total = %d, want 1", net.Metrics().Counter("msg.duplicated.total"))
+	}
+}
+
+// TestMutateVerdict covers both mutation outcomes: a frame rewritten to
+// a different valid message is delivered as that message, and a frame
+// corrupted beyond decoding is dropped (counted, not panicking).
+func TestMutateVerdict(t *testing.T) {
+	corrupt := false
+	opts := Options{
+		Seed: 3,
+		Filter: FilterFunc(func(from, to ids.ProcessID, m wire.Message, now time.Duration) Verdict {
+			if corrupt {
+				return Verdict{Mutate: func(frame []byte) []byte {
+					return frame[:1] // truncated: undecodable
+				}}
+			}
+			return Verdict{Mutate: func(frame []byte) []byte {
+				hb := m.(*wire.Heartbeat)
+				return wire.AppendEncode(frame[:0], &wire.Heartbeat{From: hb.From, Seq: hb.Seq + 100})
+			}}
+		}),
+	}
+	net, echoes := newEchoNet(t, 4, 1, opts)
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 1})
+	net.Run(time.Second)
+	if got := echoes[2].received; len(got) != 1 || !strings.HasPrefix(got[0], "p1/101@") {
+		t.Fatalf("mutated delivery = %v, want one p1/101 heartbeat", got)
+	}
+
+	corrupt = true
+	net.Env(1).Send(2, &wire.Heartbeat{From: 1, Seq: 2})
+	net.Run(2 * time.Second)
+	if got := echoes[2].received; len(got) != 1 {
+		t.Fatalf("undecodable mutant was delivered: %v", got)
+	}
+	if net.Metrics().Counter("msg.mutated.undecodable") != 1 {
+		t.Errorf("msg.mutated.undecodable = %d, want 1", net.Metrics().Counter("msg.mutated.undecodable"))
+	}
+	if net.Metrics().Counter("msg.mutated.total") != 2 {
+		t.Errorf("msg.mutated.total = %d, want 2", net.Metrics().Counter("msg.mutated.total"))
+	}
+}

@@ -57,6 +57,18 @@ type Verdict struct {
 	Drop bool
 	// Delay adds to the link latency (a timing failure on this link).
 	Delay time.Duration
+	// Duplicate delivers a second, independently delayed copy of the
+	// message — a faulty link replaying a frame.
+	Duplicate bool
+	// Mutate, when non-nil, transforms the encoded frame before
+	// delivery — a Byzantine sender (or corrupting link) emitting
+	// garbage instead of the protocol message. A mutated frame that no
+	// longer decodes is discarded like any other line garbage and
+	// counted in msg.mutated.undecodable; a frame that decodes but
+	// fails signature verification is dropped by the receiving failure
+	// detector. The function must be deterministic for reproducible
+	// runs and must not retain the slice it is given.
+	Mutate func(frame []byte) []byte
 }
 
 // Filter is the adversary's network hook, consulted for every message.
@@ -94,6 +106,11 @@ type Options struct {
 	// process (the Event.Node field distinguishes them); nil allocates
 	// a fresh bus with obs.DefaultCapacity.
 	Events *obs.Bus
+	// AllowReorder disables the per-link FIFO clamp: messages on one
+	// link arrive in latency order rather than send order. The default
+	// (false) preserves the paper's reliable-FIFO channel model; chaos
+	// scenarios opt in to explore schedules the model excludes.
+	AllowReorder bool
 }
 
 // Network is the simulated system: the event queue, the clock, and one
@@ -295,6 +312,30 @@ func (n *Network) StopProcess(p ids.ProcessID) bool {
 	return runtime.StopNode(n.nodes[p])
 }
 
+// RestartProcess re-runs a node's Init against its environment,
+// modeling crash-recovery churn. It is only meaningful for nodes whose
+// Init rebuilds all protocol state from scratch (e.g. the core
+// quorum-selection host); restarting a replicated-state-machine node
+// this way would resurrect it with amnesia the protocols don't handle.
+func (n *Network) RestartProcess(p ids.ProcessID) {
+	node, ok := n.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("sim: restart of unknown process %s", p))
+	}
+	node.Init(n.envs[p])
+}
+
+// At schedules fn on the network's own clock (clamped to now),
+// letting scenario drivers inject faults — partitions opening,
+// processes crashing — at absolute virtual times instead of threading
+// them through a process's Env. The returned Timer cancels it.
+func (n *Network) At(at time.Duration, fn func()) runtime.Timer {
+	if at < n.now {
+		at = n.now
+	}
+	return n.schedule(at, fn)
+}
+
 // Close stops every node (see StopProcess) and discards the remaining
 // event queue. The network must not be stepped afterwards; Close is
 // idempotent.
@@ -345,22 +386,53 @@ func (n *Network) send(from, to ids.ProcessID, m wire.Message) {
 		n.metrics.Inc("msg.dropped.total", 1)
 		return
 	}
-	lat := n.opts.Latency(from, to, n.rng) + verdict.Delay
+	// Round-trip through the codec: what arrives is what was encoded,
+	// never a shared pointer — and undecodable garbage can't be sent.
+	// The frame buffer is pooled; deliver recycles it after decoding.
+	data := wire.EncodePooled(m)
+	if verdict.Mutate != nil {
+		// Mutate may edit in place or return a fresh slice; either way
+		// only the returned frame is ever recycled, so the pool can
+		// never see the same backing array twice.
+		mutated := verdict.Mutate(data)
+		n.metrics.Inc("msg.mutated.total", 1)
+		// A mutated frame that no longer decodes would be discarded by
+		// any real receiver's framing layer; model that here so deliver
+		// keeps its no-garbage-in-flight invariant.
+		if _, err := wire.Decode(mutated); err != nil {
+			n.metrics.Inc("msg.mutated.undecodable", 1)
+			wire.Recycle(mutated)
+			return
+		}
+		data = mutated
+	}
+	n.scheduleDelivery(n.arrival(from, to, verdict.Delay), from, to, data)
+	if verdict.Duplicate {
+		n.metrics.Inc("msg.duplicated.total", 1)
+		dup := append([]byte(nil), data...)
+		n.scheduleDelivery(n.arrival(from, to, verdict.Delay), from, to, dup)
+	}
+}
+
+// arrival computes the delivery time of one transmission on a link:
+// latency model plus adversary delay, clamped to per-link FIFO unless
+// reordering was opted into.
+func (n *Network) arrival(from, to ids.ProcessID, delay time.Duration) time.Duration {
+	lat := n.opts.Latency(from, to, n.rng) + delay
 	if lat < 0 {
 		lat = 0
 	}
 	at := n.now + lat
+	if n.opts.AllowReorder {
+		return at
+	}
 	key := linkKey{from: from, to: to}
 	// Reliable FIFO links: arrival times on one link never reorder.
 	if last, ok := n.lastArr[key]; ok && at < last {
 		at = last
 	}
 	n.lastArr[key] = at
-	// Round-trip through the codec: what arrives is what was encoded,
-	// never a shared pointer — and undecodable garbage can't be sent.
-	// The frame buffer is pooled; deliver recycles it after decoding.
-	data := wire.EncodePooled(m)
-	n.scheduleDelivery(at, from, to, data)
+	return at
 }
 
 // procEnv implements runtime.Env for one simulated process.

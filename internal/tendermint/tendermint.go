@@ -209,6 +209,12 @@ func (r *Replica) Decisions() []xpaxos.Execution {
 	return out
 }
 
+// Executions is Decisions under the name the other replicas use
+// (xpaxos, pbftlite), so protocol-generic harnesses — the chaos
+// history-agreement checkers in particular — can inspect every
+// protocol's replicated history through one method.
+func (r *Replica) Executions() []xpaxos.Execution { return r.Decisions() }
+
 // LastDecided returns the number of decided heights.
 func (r *Replica) LastDecided() uint64 { return uint64(len(r.decisions)) }
 
@@ -265,7 +271,9 @@ func (r *Replica) Submit(req *wire.Request) {
 	if r.clientTable[req.Client] >= req.Seq {
 		return
 	}
-	r.ingress.Submit(req)
+	if err := r.ingress.Submit(req); err != nil {
+		r.env.Metrics().Inc("tendermint.submit.rejected", 1)
+	}
 }
 
 // flushGossip receives ingress batches: the requests enter the local

@@ -1,0 +1,62 @@
+package wire
+
+import "math/rand"
+
+// MutateFrame deterministically corrupts one canonical frame, modeling
+// a Byzantine sender (commission failure, §II of the paper): bit flips
+// in fixed-width fields, truncation, trailing garbage, and signature
+// corruption. It may edit frame in place or return a fresh slice; the
+// caller must use only the returned slice.
+//
+// The returned bytes always differ from the input. Combined with the
+// codec's canonicity invariant (accepted bytes re-encode identically),
+// that means every mutant that still decodes is a *different* message —
+// there are no silent-equal mutants — and any mutant whose signed
+// content or signature changed fails verification under unbroken
+// crypto. FuzzWireMutation pins both properties.
+func MutateFrame(rng *rand.Rand, frame []byte) []byte {
+	if len(frame) == 0 {
+		return append(frame, byte(1+rng.Intn(255)))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		// Single bit flip anywhere, type tag included: the classic
+		// corrupted-field commission fault. XOR can never be identity.
+		frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+		return frame
+	case 1:
+		// Whole-byte corruption of one field byte.
+		frame[rng.Intn(len(frame))] ^= byte(1 + rng.Intn(255))
+		return frame
+	case 2:
+		// Truncation: a sender that stops mid-frame. Strictly shorter,
+		// so it can only decode as garbage (the codec rejects both
+		// short reads and trailing bytes).
+		return frame[:rng.Intn(len(frame))]
+	case 3:
+		// Trailing garbage: strictly longer, rejected by the codec's
+		// no-trailing-bytes rule.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			frame = append(frame, byte(rng.Intn(256)))
+		}
+		return frame
+	default:
+		// Signature corruption: re-encode the message with a flipped
+		// signature — a forgery attempt that must die at Verify.
+		m, err := Decode(frame)
+		if err != nil {
+			// Not a valid frame to begin with; degrade to a bit flip.
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		s, ok := m.(Signed)
+		if !ok || len(s.Signature()) == 0 {
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		sig := append([]byte(nil), s.Signature()...)
+		sig[rng.Intn(len(sig))] ^= byte(1 + rng.Intn(255))
+		s.SetSignature(sig)
+		return AppendEncode(frame[:0], m)
+	}
+}

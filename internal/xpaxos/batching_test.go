@@ -6,9 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"quorumselect/internal/chaos"
+	"quorumselect/internal/core"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
+	"quorumselect/internal/wire"
 	"quorumselect/internal/xpaxos"
 )
 
@@ -20,16 +23,20 @@ type batchCluster struct {
 }
 
 func newBatchCluster(tb testing.TB, n, f int, xopts xpaxos.Options) *batchCluster {
+	return newBatchClusterOpts(tb, n, f, xopts, quietNodeOpts(), sim.Options{})
+}
+
+func newBatchClusterOpts(tb testing.TB, n, f int, xopts xpaxos.Options, nodeOpts core.NodeOptions, simOpts sim.Options) *batchCluster {
 	tb.Helper()
 	cfg := ids.MustConfig(n, f)
 	nodes := make(map[ids.ProcessID]runtime.Node, n)
 	c := &batchCluster{replicas: make(map[ids.ProcessID]*xpaxos.Replica, n)}
 	for _, p := range cfg.All() {
-		node, replica := xpaxos.NewQSNode(xopts, quietNodeOpts())
+		node, replica := xpaxos.NewQSNode(xopts, nodeOpts)
 		c.replicas[p] = replica
 		nodes[p] = node
 	}
-	c.net = sim.NewNetwork(cfg, nodes, sim.Options{})
+	c.net = sim.NewNetwork(cfg, nodes, simOpts)
 	return c
 }
 
@@ -110,6 +117,111 @@ func TestBatchingEquivalence(t *testing.T) {
 	bp := batched.net.Metrics().Counter("msg.sent.PREPARE")
 	if bp >= up {
 		t.Errorf("batched run sent %d PREPAREs, unbatched %d: batching had no effect", bp, up)
+	}
+}
+
+// exemptClientPath passes client-facing frames (REQUEST forwards and
+// ingress BATCH gossip) through untouched and applies the inner chaos
+// schedule to everything else. Client requests are submitted exactly
+// once and never retransmitted, so dropping them would turn the
+// differential test into a test of client retry logic the repo does not
+// model; protocol traffic (PREPARE, COMMIT, view changes, heartbeats)
+// takes the full schedule.
+type exemptClientPath struct{ inner sim.Filter }
+
+func (e exemptClientPath) Filter(from, to ids.ProcessID, m wire.Message, now time.Duration) sim.Verdict {
+	switch m.Kind() {
+	case wire.TypeRequest, wire.TypeBatch:
+		return sim.Verdict{}
+	}
+	return e.inner.Filter(from, to, m, now)
+}
+
+// chaosSeeds picks the first want seeds whose generated schedule leaves
+// process 1 — the submission target and initial leader — correct, so
+// every submitted request stays recoverable via that replica's log.
+func chaosSeeds(cfg ids.Config, classes []chaos.FaultClass, want int) []int64 {
+	var seeds []int64
+	for seed := int64(1); len(seeds) < want && seed < 200; seed++ {
+		sc := chaos.GenerateScenario(cfg, seed, classes, false, 4*time.Second)
+		if !sc.Faulty.Contains(1) {
+			seeds = append(seeds, seed)
+		}
+	}
+	return seeds
+}
+
+// TestBatchingEquivalenceUnderChaos is the adversarial version of
+// TestBatchingEquivalence: the same chaos-generated drop/delay/
+// duplication schedule is replayed against batch sizes 1, 8, and 32,
+// and all three runs must commit the identical request stream — same
+// requests, same order, same results. Message loss may change slot
+// boundaries, trigger view changes, and force re-proposals, but it must
+// never change the replicated history.
+func TestBatchingEquivalenceUnderChaos(t *testing.T) {
+	classes := []chaos.FaultClass{
+		chaos.FaultOmission, chaos.FaultBurst, chaos.FaultTiming,
+		chaos.FaultIncreasingTiming, chaos.FaultDuplicate,
+	}
+	cfg := ids.MustConfig(4, 1)
+	const total = 18
+
+	for _, seed := range chaosSeeds(cfg, classes, 3) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func(batch int) []xpaxos.Execution {
+				// Filters are stateful (omission counters, burst clocks):
+				// regenerate the schedule for every run.
+				sc := chaos.GenerateScenario(cfg, seed, classes, false, 4*time.Second)
+				// Heartbeats stay on (unlike the quiet fixture): they are
+				// the traffic the fault schedule mostly acts on, and they
+				// drive the suspicions that make quorums move mid-run.
+				c := newBatchClusterOpts(t, 4, 1, xpaxos.Options{
+					BatchSize:       batch,
+					MaxBatchLatency: 2 * time.Millisecond,
+				}, core.DefaultNodeOptions(), sim.Options{
+					Seed:   seed,
+					Filter: exemptClientPath{inner: sc.Filter},
+				})
+				// Spread submissions across the fault windows — submitted
+				// all at once they would commit before the first window
+				// opens and the schedule would never touch the run.
+				gap := 4 * time.Second / time.Duration(total+1)
+				for i := 1; i <= total; i++ {
+					i := i
+					c.net.At(time.Duration(i)*gap, func() {
+						c.replicas[1].Submit(req(uint64(1+i%3), uint64(1+(i-1)/3), fmt.Sprintf("set k%d v%d", i, i)))
+					})
+				}
+				ok := c.net.RunUntil(func() bool {
+					return len(c.replicas[1].Executions()) >= total
+				}, 60*time.Second)
+				if !ok {
+					t.Fatalf("batch=%d stalled: %d/%d executed under schedule %v",
+						batch, len(c.replicas[1].Executions()), total, sc.Desc)
+				}
+				return c.replicas[1].Executions()
+			}
+
+			ref := run(1)
+			if len(ref) != total {
+				t.Fatalf("unbatched run executed %d requests, want %d", len(ref), total)
+			}
+			for _, batch := range []int{8, 32} {
+				got := run(batch)
+				if len(got) != len(ref) {
+					t.Fatalf("batch=%d executed %d requests, unbatched %d", batch, len(got), len(ref))
+				}
+				for i := range ref {
+					if ref[i].Client != got[i].Client || ref[i].Seq != got[i].Seq ||
+						!bytes.Equal(ref[i].Op, got[i].Op) || !bytes.Equal(ref[i].Result, got[i].Result) {
+						t.Fatalf("batch=%d diverges from unbatched at %d: %v (%q) vs %v (%q)",
+							batch, i, got[i], got[i].Result, ref[i], ref[i].Result)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -213,7 +213,9 @@ func (r *Replica) Submit(req *wire.Request) {
 	if r.clientTable[req.Client] >= req.Seq {
 		return // already executed; a real deployment would re-reply
 	}
-	r.ingress.Submit(req)
+	if err := r.ingress.Submit(req); err != nil {
+		r.env.Metrics().Inc("xpaxos.submit.rejected", 1)
+	}
 }
 
 // flushBatch receives ingress batches. The role check happens at flush
