@@ -1,12 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report. Every benchmark line becomes a
 // name → {ns/op, B/op, allocs/op, custom metrics} entry; the
-// suspect-graph build-vs-cached pairs and the XPaxos batched-throughput
-// sweep are summarised as derived speedup ratios. Input lines are
-// echoed to stdout so the
+// suspect-graph build-vs-cached pairs, the XPaxos batched-throughput
+// sweep, and the WAL group-commit sweep are summarised as derived
+// speedup/amortization ratios. Input lines are echoed to stdout so the
 // command can sit at the end of a pipe without hiding the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR3.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR5.json
 package main
 
 import (
@@ -37,7 +37,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON file")
 	flag.Parse()
 
 	rep := Report{Derived: map[string]float64{}}
@@ -66,6 +66,7 @@ func main() {
 	}
 	deriveGraphRatios(&rep)
 	deriveBatchingSpeedup(&rep)
+	deriveWALAmortization(&rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -176,5 +177,37 @@ func deriveBatchingSpeedup(rep *Report) {
 		}
 		rep.Derived["xpaxos.batching.throughput_x."+batch] =
 			b.Metrics["req/s"] / base.Metrics["req/s"]
+	}
+}
+
+// deriveWALAmortization records what group commit buys on the durable
+// write path: how many fsyncs per appended record each batch size saves
+// over the fsync-per-record baseline, and the resulting wall-clock
+// append speedup (BenchmarkWALGroupCommit runs against a real
+// directory, so ns/op is dominated by the fsync cost being amortized).
+func deriveWALAmortization(rep *Report) {
+	const prefix = "BenchmarkWALGroupCommit/batch="
+	byBatch := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, prefix) {
+			byBatch[strings.TrimPrefix(b.Name, prefix)] = b
+		}
+	}
+	base, ok := byBatch["1"]
+	if !ok || base.Metrics["fsync/op"] <= 0 {
+		return
+	}
+	for batch, b := range byBatch {
+		if batch == "1" {
+			continue
+		}
+		if f := b.Metrics["fsync/op"]; f > 0 {
+			rep.Derived["storage.group_commit.fsync_reduction_x."+batch] =
+				base.Metrics["fsync/op"] / f
+		}
+		if ns := b.Metrics["ns/op"]; ns > 0 {
+			rep.Derived["storage.group_commit.append_speedup_x."+batch] =
+				base.Metrics["ns/op"] / ns
+		}
 	}
 }

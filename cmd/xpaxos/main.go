@@ -6,6 +6,10 @@
 //
 // The -peers list names the listen address of every process in
 // identifier order; the process listens on the address at position -id.
+// Add -data-dir to persist protocol state (WAL + snapshots) so the
+// process recovers its view, log, and suspicion matrix after a crash:
+//
+//	xpaxos -id 1 -peers ... -f 1 -secret s3cret -data-dir ./data/p1
 //
 // Local mode — the whole cluster in one process (demo):
 //
@@ -35,22 +39,30 @@ func main() {
 	secret := flag.String("secret", "quorumselect-dev", "shared HMAC master secret")
 	local := flag.Bool("local", false, "run the whole cluster in this process")
 	requests := flag.Int("requests", 10, "requests to submit in local mode")
+	dataDir := flag.String("data-dir", "", "durable state directory (empty: run in-memory); each process needs its own")
 	httpAddr := flag.String("http", "", "client-facing HTTP address (server mode), e.g. 127.0.0.1:8081")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listener address (server mode), e.g. 127.0.0.1:6060")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
 	if *local {
-		runLocal(*n, *f, *secret, *requests, *verbose)
+		runLocal(*n, *f, *secret, *requests, *dataDir, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *httpAddr, *debugAddr, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *dataDir, *httpAddr, *debugAddr, *verbose)
 }
 
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
-	listen string, secret string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
+	listen string, secret, dataDir string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
 	nodeOpts := qs.DefaultNodeOptions()
 	nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
+	if dataDir != "" {
+		backend, err := qs.NewDirStorage(dataDir)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("open data dir: %w", err)
+		}
+		nodeOpts.Storage = backend
+	}
 	kv := qs.NewKVMachine()
 	node, replica := qs.NewXPaxosNode(qs.XPaxosOptions{
 		SM:                 kv,
@@ -78,7 +90,7 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	return host, replica, kv, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, httpAddr, debugAddr string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debugAddr string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -99,7 +111,7 @@ func runServer(id int, peersFlag string, f int, secret, httpAddr, debugAddr stri
 	delete(addrs, self)
 
 	var fe *frontend
-	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, verbose,
+	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, dataDir, verbose,
 		func(e qs.Execution) {
 			if fe != nil {
 				fe.onExecute(e)
@@ -139,7 +151,7 @@ func runServer(id int, peersFlag string, f int, secret, httpAddr, debugAddr stri
 	os.Exit(0)
 }
 
-func runLocal(n, f int, secret string, requests int, verbose bool) {
+func runLocal(n, f int, secret string, requests int, dataDir string, verbose bool) {
 	cfg, err := qs.NewConfig(n, f)
 	if err != nil {
 		log.Fatal(err)
@@ -147,7 +159,12 @@ func runLocal(n, f int, secret string, requests int, verbose bool) {
 	hosts := make(map[qs.ProcessID]*qs.Host, cfg.N)
 	replicas := make(map[qs.ProcessID]*qs.XPaxosReplica, cfg.N)
 	for _, p := range cfg.All() {
-		host, replica, _, err := buildHost(p, cfg, nil, "", secret, verbose, nil)
+		dir := ""
+		if dataDir != "" {
+			// Each process persists into its own subdirectory.
+			dir = fmt.Sprintf("%s/p%d", dataDir, p)
+		}
+		host, replica, _, err := buildHost(p, cfg, nil, "", secret, dir, verbose, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

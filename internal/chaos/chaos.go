@@ -66,6 +66,13 @@ type Config struct {
 	// own tests can inject an agreement bug and prove the fuzzer catches
 	// it.
 	TamperHistory func(p ids.ProcessID, h []xpaxos.Execution) []xpaxos.Execution
+	// TamperSkipSync, when set, makes every member's storage backend
+	// acknowledge fsyncs without making the writes durable. Test-only:
+	// a hard crash then loses acknowledged state, and the
+	// crash-recovery checker must catch the shortened history — proof
+	// the harness would notice a protocol that skips its
+	// persist-before-act barrier.
+	TamperSkipSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +169,12 @@ type RunState struct {
 	cluster  *cluster
 	// probes is how many liveness probes went out (0 until PhaseSettled).
 	probes int
+	// preCrash freezes each restarted durable member's execution history
+	// at the moment it crashed. Every execution is persisted before it
+	// happens (persist-before-act), so the recovered member must come
+	// back with at least this prefix — the crash-recovery checker's
+	// ground truth.
+	preCrash map[ids.ProcessID][]xpaxos.Execution
 }
 
 // history returns p's replicated history as the checkers should see it,
@@ -195,22 +208,30 @@ func (r *RunState) submit(req *wire.Request) {
 func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string) {
 	idsCfg := ids.MustConfig(cfg.N, cfg.F)
 	sc := GenerateScenario(idsCfg, seed, cfg.Faults, cfg.Protocol.restartable(), cfg.FaultEnd)
-	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, seed, sc.Filter)
+	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, cfg.TamperSkipSync, seed, sc.Filter)
 	defer cl.net.Close()
 
-	rs := &RunState{Config: cfg, Scenario: sc, cluster: cl}
+	rs := &RunState{Config: cfg, Scenario: sc, cluster: cl,
+		preCrash: make(map[ids.ProcessID][]xpaxos.Execution)}
 	checkers := cfg.Checkers
 	if checkers == nil {
 		checkers = defaultCheckers(cfg.Protocol)
 	}
 
-	// Crash/restart churn from the scenario, on the virtual clock.
+	// Crash/restart churn from the scenario, on the virtual clock. A
+	// crash that will restart freezes the member's history first: the
+	// recovered process must extend it (crash-recovery checker).
 	for _, plan := range sc.Crashes {
+		plan := plan
 		p := plan.Proc
-		cl.net.At(plan.At, func() { cl.net.StopProcess(p) })
+		cl.net.At(plan.At, func() {
+			if m := cl.members[p]; plan.RestartAt > 0 && m.history != nil && m.backend != nil {
+				rs.preCrash[p] = m.history()
+			}
+			cl.crash(p, plan.Hard)
+		})
 		if plan.RestartAt > 0 {
-			restartAt := plan.RestartAt
-			cl.net.At(restartAt, func() { cl.net.RestartProcess(p) })
+			cl.net.At(plan.RestartAt, func() { cl.restart(p) })
 		}
 	}
 

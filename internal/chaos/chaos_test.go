@@ -132,6 +132,66 @@ func TestInjectedAgreementBugCaught(t *testing.T) {
 	t.Logf("injected bug caught at seed %d after %d seeds", res.Violation.Seed, res.Seeds)
 }
 
+// TestCrashRestartRecovery runs the crash-restart fault class alone
+// against the durable protocols: every seed must restart its crashed
+// replicas from the surviving WAL + snapshot with the acknowledged
+// history intact (crash-recovery checker) and, for xpaxos, execute the
+// post-fault liveness probes.
+func TestCrashRestartRecovery(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, protocol := range []Protocol{ProtocolXPaxos, ProtocolPBFT} {
+		protocol := protocol
+		t.Run(string(protocol), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{
+				Protocol: protocol,
+				Faults:   []FaultClass{FaultCrashRestart},
+				Seeds:    seeds,
+			})
+			if res.Violation != nil {
+				t.Fatalf("unexpected violation:\n%s", res.Violation.Dump)
+			}
+		})
+	}
+}
+
+// TestSkipSyncTamperCaught is the durability smoke alarm: a storage
+// backend that acknowledges fsyncs without persisting must be caught by
+// the crash-recovery checker when a hard crash drops the acknowledged
+// writes — and the identical untampered seed must pass, proving the
+// violation comes from the tamper, not the schedule.
+func TestSkipSyncTamperCaught(t *testing.T) {
+	for _, protocol := range []Protocol{ProtocolXPaxos, ProtocolPBFT} {
+		protocol := protocol
+		t.Run(string(protocol), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Protocol:       protocol,
+				Faults:         []FaultClass{FaultCrashRestart},
+				Seeds:          60,
+				TamperSkipSync: true,
+			}
+			res := Run(cfg)
+			if res.Violation == nil {
+				t.Fatalf("skip-fsync tamper not caught in %d seeds", res.Seeds)
+			}
+			if res.Violation.Checker != "crash-recovery" {
+				t.Fatalf("caught by %q, want crash-recovery: %s",
+					res.Violation.Checker, res.Violation.Detail)
+			}
+			clean := cfg
+			clean.TamperSkipSync = false
+			if v := RunSeed(clean, res.Violation.Seed); v != nil {
+				t.Fatalf("seed %d fails even without the tamper: %v", res.Violation.Seed, v)
+			}
+			t.Logf("tamper caught at seed %d: %s", res.Violation.Seed, res.Violation.Detail)
+		})
+	}
+}
+
 // TestViolationDumpReplays: the dump attached to a violation is exactly
 // what Replay reconstructs from the seed — the reproduction workflow a
 // developer follows from a CI failure.

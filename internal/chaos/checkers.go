@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"quorumselect/internal/ids"
+	"quorumselect/internal/xpaxos"
 )
 
 // Phase tells a checker where in the run it is being evaluated.
@@ -40,6 +41,9 @@ func defaultCheckers(p Protocol) []Checker {
 	}
 	if p.smr() {
 		cs = append(cs, &historyChecker{})
+	}
+	if p.durable() {
+		cs = append(cs, &recoveryChecker{})
 	}
 	if p.checksLiveness() {
 		cs = append(cs, &livenessChecker{})
@@ -201,33 +205,108 @@ func (t *terminationChecker) Check(r *RunState, phase Phase) error {
 	return nil
 }
 
-// historyChecker verifies cross-replica replicated-history agreement:
-// at every instant, any two replicas' execution histories must be
-// prefix-consistent — one is a prefix of the other, element for
-// element. Crashed replicas keep their frozen prefix and stay in the
-// comparison.
+// historyChecker verifies cross-replica replicated-history agreement at
+// every instant: each replica executes in strictly increasing slot
+// order, and any slot executed by two replicas carries the same request
+// and result. Alignment is by slot, not list index — a replica that
+// caught up through a checkpoint transfer legitimately skips the slots
+// the checkpoint subsumes. Crashed replicas keep their frozen history
+// and stay in the comparison.
 type historyChecker struct{}
 
 func (historyChecker) Name() string { return "history-agreement" }
 
 func (historyChecker) Check(r *RunState, _ Phase) error {
 	procs := r.cluster.cfg.All()
+	hists := make([][]xpaxos.Execution, len(procs))
+	for i, p := range procs {
+		h := r.history(p)
+		// Slots are non-decreasing: a batched slot executes one entry
+		// per request, all under the same slot number.
+		for k := 1; k < len(h); k++ {
+			if h[k].Slot < h[k-1].Slot {
+				return fmt.Errorf("%s executed slot %d after slot %d (out of order)",
+					p, h[k].Slot, h[k-1].Slot)
+			}
+		}
+		hists[i] = h
+	}
 	for i := 0; i < len(procs); i++ {
 		for j := i + 1; j < len(procs); j++ {
-			a, b := r.history(procs[i]), r.history(procs[j])
-			n := len(a)
-			if len(b) < n {
-				n = len(b)
-			}
-			for k := 0; k < n; k++ {
-				if a[k].Slot != b[k].Slot || a[k].Client != b[k].Client ||
-					a[k].Seq != b[k].Seq || !bytes.Equal(a[k].Op, b[k].Op) ||
-					!bytes.Equal(a[k].Result, b[k].Result) {
-					return fmt.Errorf(
-						"histories diverge at index %d: %s executed slot=%d client=%d seq=%d, %s executed slot=%d client=%d seq=%d",
-						k, procs[i], a[k].Slot, a[k].Client, a[k].Seq,
-						procs[j], b[k].Slot, b[k].Client, b[k].Seq)
+			a, b := hists[i], hists[j]
+			for x, y := 0, 0; x < len(a) && y < len(b); {
+				if a[x].Slot < b[y].Slot {
+					x++
+					continue
 				}
+				if a[x].Slot > b[y].Slot {
+					y++
+					continue
+				}
+				s := a[x].Slot
+				x2, y2 := x, y
+				for x2 < len(a) && a[x2].Slot == s {
+					x2++
+				}
+				for y2 < len(b) && b[y2].Slot == s {
+					y2++
+				}
+				if x2-x != y2-y {
+					return fmt.Errorf("histories diverge at slot %d: %s executed %d requests, %s executed %d",
+						s, procs[i], x2-x, procs[j], y2-y)
+				}
+				for k := 0; k < x2-x; k++ {
+					ea, eb := a[x+k], b[y+k]
+					if ea.Client != eb.Client || ea.Seq != eb.Seq ||
+						!bytes.Equal(ea.Op, eb.Op) || !bytes.Equal(ea.Result, eb.Result) {
+						return fmt.Errorf(
+							"histories diverge at slot %d: %s executed client=%d seq=%d, %s executed client=%d seq=%d",
+							s, procs[i], ea.Client, ea.Seq, procs[j], eb.Client, eb.Seq)
+					}
+				}
+				x, y = x2, y2
+			}
+		}
+	}
+	return nil
+}
+
+// recoveryChecker verifies crash-restart durability: every restarted
+// durable member must be running again by the end of the run, and its
+// post-restart history must extend — element for element — the history
+// it had acknowledged when it crashed. Every execution is persisted and
+// fsynced before it happens, so even a power-loss (hard) crash may not
+// shorten the acknowledged prefix; a backend that lies about fsync (the
+// TamperSkipSync hook) is exactly what this checker exists to catch.
+type recoveryChecker struct{}
+
+func (recoveryChecker) Name() string { return "crash-recovery" }
+
+func (recoveryChecker) Check(r *RunState, phase Phase) error {
+	if phase != PhaseFinal {
+		return nil
+	}
+	for _, p := range r.cluster.cfg.All() {
+		pre, ok := r.preCrash[p]
+		if !ok || !r.Scenario.Restarted(p) {
+			continue
+		}
+		m := r.cluster.members[p]
+		if !m.running() {
+			return fmt.Errorf("%s never came back up after its restart", p)
+		}
+		cur := r.history(p)
+		if len(cur) < len(pre) {
+			return fmt.Errorf("%s recovered only %d of the %d executions it acknowledged before crashing",
+				p, len(cur), len(pre))
+		}
+		for k := range pre {
+			if pre[k].Slot != cur[k].Slot || pre[k].Client != cur[k].Client ||
+				pre[k].Seq != cur[k].Seq || !bytes.Equal(pre[k].Op, cur[k].Op) ||
+				!bytes.Equal(pre[k].Result, cur[k].Result) {
+				return fmt.Errorf("%s recovered a diverged history at index %d: acknowledged slot=%d client=%d seq=%d, recovered slot=%d client=%d seq=%d",
+					p, k, pre[k].Slot, pre[k].Client, pre[k].Seq,
+					cur[k].Slot, cur[k].Client, cur[k].Seq)
 			}
 		}
 	}

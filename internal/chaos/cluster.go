@@ -14,6 +14,7 @@ import (
 	"quorumselect/internal/pbftlite"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
+	"quorumselect/internal/storage"
 	"quorumselect/internal/tendermint"
 	"quorumselect/internal/trace"
 	"quorumselect/internal/wire"
@@ -68,11 +69,18 @@ func ParseProtocols(s string) ([]Protocol, error) {
 	return out, nil
 }
 
-// restartable reports whether crash faults may re-Init processes of
-// this protocol. Only the core-only stack rebuilds every module fresh
-// in Init; re-Initing an SMR replica would resurrect it with partial
-// amnesia the protocols were never designed to handle.
-func (p Protocol) restartable() bool { return p == ProtocolQS }
+// restartable reports whether crash faults may restart processes of
+// this protocol. The core-only stack restarts stateless by design;
+// xpaxos and pbftlite restart by recovering their durable state from a
+// per-member storage backend (see durable). Tendermint has no durable
+// layer yet, so its crashes stay permanent.
+func (p Protocol) restartable() bool {
+	return p == ProtocolQS || p == ProtocolXPaxos || p == ProtocolPBFT
+}
+
+// durable reports whether the protocol's members are composed with a
+// storage backend, making crash-restart recovery meaningful.
+func (p Protocol) durable() bool { return p == ProtocolXPaxos || p == ProtocolPBFT }
 
 // smr reports whether the protocol carries a replicated history.
 func (p Protocol) smr() bool { return p != ProtocolQS }
@@ -99,6 +107,10 @@ type member struct {
 	host    *host.Host
 	submit  func(*wire.Request)
 	history func() []xpaxos.Execution
+	// backend is the member's durable storage (nil for non-durable
+	// protocols). It survives member replacement on restart: it is the
+	// only state a resurrected process inherits.
+	backend *storage.MemBackend
 }
 
 // running reports whether the member's host is live (not crashed).
@@ -107,12 +119,14 @@ func (m *member) running() bool { return m.host.State() == host.StateRunning }
 // cluster is one simulated system under chaos: n composed processes,
 // the network, and the run's recorders.
 type cluster struct {
-	cfg      ids.Config
-	protocol Protocol
-	net      *sim.Network
-	members  map[ids.ProcessID]*member
-	rec      *trace.Recorder
-	bus      *obs.Bus
+	cfg       ids.Config
+	protocol  Protocol
+	batchSize int
+	skipSync  bool
+	net       *sim.Network
+	members   map[ids.ProcessID]*member
+	rec       *trace.Recorder
+	bus       *obs.Bus
 }
 
 // newCluster builds the protocol's composition for every process and
@@ -120,16 +134,18 @@ type cluster struct {
 // a real (HMAC) ring: chaos mutates frames, and only unforgeable
 // signatures make "a corrupted signed message is dropped, not
 // attributed" hold the way the paper assumes.
-func newCluster(cfg ids.Config, protocol Protocol, batchSize int, seed int64, filter sim.Filter) *cluster {
+func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool, seed int64, filter sim.Filter) *cluster {
 	c := &cluster{
-		cfg:      cfg,
-		protocol: protocol,
-		members:  make(map[ids.ProcessID]*member, cfg.N),
-		bus:      obs.NewBus(0),
+		cfg:       cfg,
+		protocol:  protocol,
+		batchSize: batchSize,
+		skipSync:  skipSync,
+		members:   make(map[ids.ProcessID]*member, cfg.N),
+		bus:       obs.NewBus(0),
 	}
 	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
 	for _, p := range cfg.All() {
-		m := c.newMember(batchSize)
+		m := c.newMember(nil)
 		c.members[p] = m
 		nodes[p] = m.node
 	}
@@ -147,27 +163,63 @@ func newCluster(cfg ids.Config, protocol Protocol, batchSize int, seed int64, fi
 	return c
 }
 
-// newMember composes one process of the cluster's protocol.
-func (c *cluster) newMember(batchSize int) *member {
+// newMember composes one process of the cluster's protocol. For
+// durable protocols a nil backend allocates a fresh one (initial
+// construction); a non-nil backend is inherited from a crashed
+// predecessor (restart-with-recovery).
+func (c *cluster) newMember(backend *storage.MemBackend) *member {
+	if c.protocol.durable() && backend == nil {
+		backend = storage.NewMemBackend()
+		if c.skipSync {
+			backend.SetSkipSync(true)
+		}
+	}
+	nodeOpts := core.DefaultNodeOptions()
+	if backend != nil {
+		nodeOpts.Storage = backend
+	}
 	switch c.protocol {
 	case ProtocolQS:
-		n := core.NewNode(core.DefaultNodeOptions())
+		n := core.NewNode(nodeOpts)
 		return &member{node: n, host: n.Host}
 	case ProtocolXPaxos:
 		n, r := xpaxos.NewQSNode(xpaxos.Options{
 			CheckpointInterval: 8,
-			BatchSize:          batchSize,
-		}, core.DefaultNodeOptions())
-		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+			BatchSize:          c.batchSize,
+		}, nodeOpts)
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions, backend: backend}
 	case ProtocolPBFT:
-		n, r := pbftlite.NewQSNode(pbftlite.Options{}, core.DefaultNodeOptions())
-		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+		n, r := pbftlite.NewQSNode(pbftlite.Options{}, nodeOpts)
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions, backend: backend}
 	case ProtocolTendermint:
 		n, r := tendermint.NewQSNode(tendermint.Options{
-			BatchSize: batchSize,
-		}, core.DefaultNodeOptions())
-		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions}
+			BatchSize: c.batchSize,
+		}, nodeOpts)
+		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions, backend: backend}
 	default:
 		panic(fmt.Sprintf("chaos: unknown protocol %q", c.protocol))
 	}
+}
+
+// crash takes p down. A hard crash models power loss: the backend
+// drops every write that was not durably synced (and invalidates the
+// live file handles) before the host lifecycle tears the process down.
+// A plain crash is a process kill whose final flush still reaches disk.
+func (c *cluster) crash(p ids.ProcessID, hard bool) {
+	m := c.members[p]
+	if hard && m.backend != nil {
+		m.backend.Crash()
+	}
+	c.net.StopProcess(p)
+}
+
+// restart resurrects p as a freshly constructed member over the old
+// member's storage backend — the only state that legitimately survives
+// a crash. Non-durable protocols come back with total amnesia, which
+// only the stateless core-only composition tolerates.
+func (c *cluster) restart(p ids.ProcessID) {
+	old := c.members[p]
+	m := c.newMember(old.backend)
+	c.members[p] = m
+	c.net.ReplaceProcess(p, m.node)
 }

@@ -22,8 +22,15 @@ type FaultClass string
 // failure classes.
 const (
 	// FaultCrash stops a process via the host lifecycle (crash failure);
-	// on the restart-capable core-only cluster it may later re-Init.
+	// on a restart-capable cluster it may later come back, recovering
+	// whatever its durable storage holds.
 	FaultCrash FaultClass = "crash"
+	// FaultCrashRestart hard-crashes a process — its storage backend
+	// drops every write not yet durably synced, modeling power loss —
+	// and always restarts it, forcing a recovery from the surviving
+	// WAL + snapshot. On a non-restartable protocol it degrades to a
+	// permanent hard crash.
+	FaultCrashRestart FaultClass = "crash-restart"
 	// FaultOmission drops one in every k messages from a faulty process
 	// (repeated omission failure).
 	FaultOmission FaultClass = "omission"
@@ -50,8 +57,9 @@ const (
 // AllFaults returns every fault class, in stable order.
 func AllFaults() []FaultClass {
 	return []FaultClass{
-		FaultCrash, FaultOmission, FaultBurst, FaultPartition,
-		FaultTiming, FaultIncreasingTiming, FaultDuplicate, FaultMutate,
+		FaultCrash, FaultCrashRestart, FaultOmission, FaultBurst,
+		FaultPartition, FaultTiming, FaultIncreasingTiming,
+		FaultDuplicate, FaultMutate,
 	}
 }
 
@@ -82,9 +90,12 @@ func ParseFaults(s string) ([]FaultClass, error) {
 type CrashPlan struct {
 	Proc ids.ProcessID
 	At   time.Duration
-	// RestartAt re-Inits the process (zero: stays down). Only set when
-	// the cluster is restart-capable.
+	// RestartAt resurrects the process from its durable state (zero:
+	// stays down). Only set when the cluster is restart-capable.
 	RestartAt time.Duration
+	// Hard marks a power-loss crash: unsynced writes are dropped from
+	// the process's storage backend before it stops.
+	Hard bool
 }
 
 // Scenario is one fully derived fault schedule: everything RunSeed
@@ -172,6 +183,15 @@ func GenerateScenario(cfg ids.Config, seed int64, classes []FaultClass, restarta
 				sc.Desc = append(sc.Desc, fmt.Sprintf("%s: crash at %s, restart at %s", p, from, until))
 			} else {
 				sc.Desc = append(sc.Desc, fmt.Sprintf("%s: crash at %s", p, from))
+			}
+			sc.Crashes = append(sc.Crashes, plan)
+		case FaultCrashRestart:
+			plan := CrashPlan{Proc: p, At: from, Hard: true}
+			if restartable {
+				plan.RestartAt = until
+				sc.Desc = append(sc.Desc, fmt.Sprintf("%s: hard crash at %s, recover at %s", p, from, until))
+			} else {
+				sc.Desc = append(sc.Desc, fmt.Sprintf("%s: hard crash at %s (protocol not restartable)", p, from))
 			}
 			sc.Crashes = append(sc.Crashes, plan)
 		case FaultOmission:

@@ -7,6 +7,7 @@ import (
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/runtime"
+	"quorumselect/internal/storage"
 	"quorumselect/internal/suspicion"
 )
 
@@ -27,6 +28,12 @@ type NodeOptions struct {
 	HeartbeatPeriod time.Duration
 	// App is the optional application module (e.g. an XPaxos replica).
 	App Application
+	// Storage, when set, makes the node durable (see host.Options.Storage):
+	// the kernel recovers suspicion and application state at Init and
+	// persists from then on.
+	Storage storage.Backend
+	// StorageOptions tune the WAL (see host.Options.StorageOptions).
+	StorageOptions storage.Options
 }
 
 // DefaultNodeOptions returns the standard composition: adaptive failure
@@ -70,6 +77,8 @@ func NewNode(opts NodeOptions) *Node {
 		Store:           opts.Store,
 		HeartbeatPeriod: opts.HeartbeatPeriod,
 		App:             opts.App,
+		Storage:         opts.Storage,
+		StorageOptions:  opts.StorageOptions,
 		NewSelection: func(env runtime.Env, store *suspicion.Store, _ *fd.Detector, issue func(ids.Quorum)) host.Selection {
 			n.Selector = NewSelector(env, store, issue)
 			return n.Selector

@@ -29,6 +29,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
+	"quorumselect/internal/storage"
 	"quorumselect/internal/suspicion"
 	"quorumselect/internal/wire"
 )
@@ -144,6 +145,16 @@ type Options struct {
 	// ModeQuorumSelection suspicions route to the selection module and
 	// this field is ignored.
 	OnSuspect fd.OnSuspect
+	// Storage, when set, makes the host durable: at Init the kernel
+	// opens (and recovers) a storage.Store over this backend, restores
+	// the suspicion matrix, hands a DurableApp its recovered records,
+	// and persists suspicion writes from then on; Stop flushes and
+	// closes the WAL. Nil keeps the host fully in-memory.
+	Storage storage.Backend
+	// StorageOptions tune the WAL (segment size, group-commit batch,
+	// flush latency). The kernel fills Metrics and After from the
+	// environment when unset.
+	StorageOptions storage.Options
 }
 
 // Host is one composed replica process. It implements runtime.Node for
@@ -162,11 +173,13 @@ type Host struct {
 	selHandler MessageHandler // Selection's message hook, if any
 	quorumApp  QuorumApp      // App's quorum hook, if any
 	quorumLog  []ids.Quorum
+	storage    *storage.Store // nil when Options.Storage is unset
 }
 
 var (
-	_ runtime.Node    = (*Host)(nil)
-	_ runtime.Stopper = (*Host)(nil)
+	_ runtime.Node         = (*Host)(nil)
+	_ runtime.Stopper      = (*Host)(nil)
+	_ runtime.FreshStarter = (*Host)(nil)
 )
 
 // New creates an unstarted host; the simulator or transport calls Init.
@@ -213,6 +226,9 @@ func (h *Host) Init(env runtime.Env) {
 	if h.opts.App != nil {
 		h.opts.App.Attach(env, h.Detector)
 	}
+	if h.opts.Storage != nil {
+		h.openStorage(env)
+	}
 	if h.opts.HeartbeatPeriod > 0 {
 		h.HB = fd.NewHeartbeater(h.Detector, h.opts.HeartbeatPeriod)
 		h.HB.Start(env)
@@ -248,6 +264,7 @@ func (h *Host) Stop() {
 	if s, ok := h.opts.App.(Stoppable); ok {
 		s.Stop()
 	}
+	h.closeStorage()
 	h.setState(StateStopped)
 }
 

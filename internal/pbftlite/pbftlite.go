@@ -30,6 +30,7 @@ import (
 
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/fd"
+	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/runtime"
@@ -83,11 +84,18 @@ type Replica struct {
 	view     uint64
 	active   ids.Quorum // participation set (Π under BroadcastAll)
 	nextSlot uint64
+	// maxSeen is the highest slot this replica ever saw proposed, across
+	// quorum changes: a leader elected after a participation change must
+	// not reassign a slot the previous quorum may have committed.
+	maxSeen  uint64
 	slots    map[uint64]*slotState
 	lastExec uint64
 
 	committedReq map[uint64]*wire.Request
 	executions   []xpaxos.Execution
+
+	wal        host.AppLog // non-nil when the host is durable
+	recovering bool        // true while replaying recovered records
 }
 
 // NewReplica creates a PBFT-style replica.
@@ -171,6 +179,12 @@ func (r *Replica) OnQuorum(q ids.Quorum) {
 		}
 	}
 	r.view++
+	// If this replica now leads, it must propose above every slot it has
+	// seen: a slot that reached commit anywhere was prepared by all of
+	// the old active members, so reusing its number would fork history.
+	if r.nextSlot <= r.maxSeen {
+		r.nextSlot = r.maxSeen + 1
+	}
 }
 
 // Submit injects a client request (forwarded to the primary if
@@ -318,6 +332,9 @@ func (r *Replica) advance(slot uint64, st *slotState) {
 		st.committed = true
 		req := st.prePrepare.Req
 		r.committedReq[slot] = &req
+		// Persist before acting: the commit must survive a crash before
+		// it becomes visible through execution.
+		r.persistCommitted(slot, &req)
 		r.env.Metrics().Inc("pbftlite.committed", 1)
 		r.execute()
 	}
@@ -340,13 +357,16 @@ func (r *Replica) execute() {
 		}
 		r.executions = append(r.executions, exec)
 		r.env.Metrics().Inc("pbftlite.executed", 1)
-		if r.opts.OnExecute != nil {
+		if r.opts.OnExecute != nil && !r.recovering {
 			r.opts.OnExecute(exec)
 		}
 	}
 }
 
 func (r *Replica) slot(s uint64) *slotState {
+	if s > r.maxSeen {
+		r.maxSeen = s
+	}
 	st, ok := r.slots[s]
 	if !ok {
 		st = &slotState{

@@ -313,15 +313,46 @@ func (n *Network) StopProcess(p ids.ProcessID) bool {
 }
 
 // RestartProcess re-runs a node's Init against its environment,
-// modeling crash-recovery churn. It is only meaningful for nodes whose
-// Init rebuilds all protocol state from scratch (e.g. the core
-// quorum-selection host); restarting a replicated-state-machine node
-// this way would resurrect it with amnesia the protocols don't handle.
+// modeling crash-recovery churn. A node composed with durable storage
+// (host.Options.Storage) recovers its persisted state inside Init, so
+// restarting a replicated-state-machine node is meaningful exactly when
+// it is durable; a node without storage restarts from scratch, which
+// only stateless-by-design compositions (e.g. the core quorum-selection
+// host) tolerate.
 func (n *Network) RestartProcess(p ids.ProcessID) {
 	node, ok := n.nodes[p]
 	if !ok {
 		panic(fmt.Sprintf("sim: restart of unknown process %s", p))
 	}
+	node.Init(n.envs[p])
+}
+
+// RestartProcessFresh restarts a node with amnesia: if the node
+// implements runtime.FreshStarter its durable state is wiped before
+// Init (the pre-durability restart semantics, kept for experiments and
+// regression tests); otherwise it behaves like RestartProcess.
+func (n *Network) RestartProcessFresh(p ids.ProcessID) {
+	node, ok := n.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("sim: fresh restart of unknown process %s", p))
+	}
+	if fs, ok := node.(runtime.FreshStarter); ok {
+		fs.InitFresh(n.envs[p])
+		return
+	}
+	node.Init(n.envs[p])
+}
+
+// ReplaceProcess swaps in a freshly constructed node for p and Inits it
+// against p's environment. Unlike RestartProcess — which re-runs Init
+// on the same object, whose Go heap trivially survives — replacement
+// models a real crash-restart: the new node's only link to the past is
+// whatever durable storage backend it was constructed with.
+func (n *Network) ReplaceProcess(p ids.ProcessID, node runtime.Node) {
+	if _, ok := n.nodes[p]; !ok {
+		panic(fmt.Sprintf("sim: replace of unknown process %s", p))
+	}
+	n.nodes[p] = node
 	node.Init(n.envs[p])
 }
 

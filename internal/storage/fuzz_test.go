@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// refParse is an independent reference decoder for the frame format,
+// deliberately re-written rather than calling parseFrames: recovery
+// must agree with it byte-for-byte. It treats a frame as valid iff the
+// full header and payload are present, the length is in (0,
+// maxRecordLen], and the stored CRC32C matches.
+func refParse(data []byte) [][]byte {
+	var out [][]byte
+	for len(data) >= 8 {
+		n := int(binary.LittleEndian.Uint32(data[:4]))
+		if n == 0 || n > maxRecordLen || len(data) < 8+n {
+			break
+		}
+		payload := data[8 : 8+n]
+		if crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(data[4:8]) {
+			break
+		}
+		out = append(out, payload)
+		data = data[8+n:]
+	}
+	return out
+}
+
+// FuzzWALReplay feeds arbitrary bytes in as the content of the first
+// WAL segment — covering torn tails, bit flips, and truncations at
+// every offset (pattern after FuzzWireMutation: mutate the durable
+// bytes, then pin the recovery contract). Recovery must never error or
+// panic, must return exactly the valid frame prefix (never a corrupt
+// record), and must leave the log in a state where a second recovery
+// agrees and new appends extend cleanly.
+//
+//	go test -fuzz=FuzzWALReplay ./internal/storage
+func FuzzWALReplay(f *testing.F) {
+	// Seed: a clean log, a torn tail, a bit flip, an empty file, and
+	// a zero-filled tail (the preallocation sentinel).
+	var clean []byte
+	for i := 0; i < 8; i++ {
+		clean = appendFrame(clean, rec(i))
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])
+	flipped := append([]byte(nil), clean...)
+	flipped[13] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(append(append([]byte(nil), clean[:19]...), make([]byte, 32)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want := refParse(data)
+
+		b := NewMemBackend()
+		fh, _ := b.Create(segName(0))
+		fh.Write(data)
+		fh.Sync()
+		fh.Close()
+
+		s, err := Open(b, Options{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		snap, got := s.Recovered()
+		if snap != nil {
+			t.Fatalf("snapshot from nowhere: %q", snap)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("recovered %d records, reference says %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("record %d corrupt: %x != %x", i, got[i], want[i])
+			}
+		}
+		if s.NextIndex() != uint64(len(want)) {
+			t.Fatalf("NextIndex = %d, want %d", s.NextIndex(), len(want))
+		}
+
+		// The truncation must be physical: appending past it and
+		// re-recovering yields prefix + new records, nothing else.
+		extra := []byte("post-recovery-record")
+		if err := s.Append(extra); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		s2, err := Open(b, Options{})
+		if err != nil {
+			t.Fatalf("re-Open: %v", err)
+		}
+		_, got2 := s2.Recovered()
+		if len(got2) != len(want)+1 {
+			t.Fatalf("after append: %d records, want %d", len(got2), len(want)+1)
+		}
+		for i := range want {
+			if !bytes.Equal(got2[i], want[i]) {
+				t.Fatalf("record %d changed across reopen", i)
+			}
+		}
+		if !bytes.Equal(got2[len(want)], extra) {
+			t.Fatalf("appended record corrupt: %x", got2[len(want)])
+		}
+	})
+}

@@ -71,8 +71,26 @@ type Store struct {
 	cacheShared bool   // handed out by SuspectGraph; clone before mutating
 	version     uint64 // bumped whenever the cached graph's edge set changes
 
-	onChange func()
-	log      logging.Logger
+	onChange  func()
+	persister Persister
+	log       logging.Logger
+}
+
+// Persister receives every monotone matrix write and epoch advance so
+// a durable log can record them before the store acts on the change
+// (broadcast, forward, onChange). The replica host implements it over
+// internal/storage; cell indices are 0-based matrix coordinates. The
+// hooks are invoked outside the store's lock but on the owning event
+// loop, in the order the writes happened.
+type Persister interface {
+	PersistCell(l, k int, epoch uint64)
+	PersistEpoch(epoch uint64)
+}
+
+// persistedCell is one matrix write queued for the persister.
+type persistedCell struct {
+	l, k  int
+	epoch uint64
 }
 
 // New returns a Store for the given configuration with epoch 1 and an
@@ -101,6 +119,40 @@ func (s *Store) Bind(env runtime.Env, onChange func()) {
 	s.onChange = onChange
 	s.log = env.Logger()
 	runtime.SetNodeGauge(env, "graph.n", float64(s.cfg.N))
+}
+
+// SetPersister installs the durable-log hook. Call it after restoring
+// state (RestoreCell/RestoreEpoch) so recovery replay is not
+// re-persisted.
+func (s *Store) SetPersister(p Persister) { s.persister = p }
+
+// RestoreCell re-applies a persisted matrix write during recovery:
+// matrix[l][k] is raised to epoch with no broadcast, no forwarding, no
+// onChange, and no re-persist. Out-of-range indices are ignored (a
+// durable log from a different configuration must not panic the host).
+func (s *Store) RestoreCell(l, k int, epoch uint64) {
+	if l < 0 || l >= s.cfg.N || k < 0 || k >= s.cfg.N {
+		return
+	}
+	s.mu.Lock()
+	s.stampCell(l, k, epoch)
+	s.mu.Unlock()
+}
+
+// RestoreEpoch fast-forwards the epoch during recovery, silently.
+func (s *Store) RestoreEpoch(e uint64) {
+	s.mu.Lock()
+	s.advanceEpochLocked(e)
+	s.mu.Unlock()
+}
+
+func (s *Store) persistCells(cells []persistedCell) {
+	if s.persister == nil {
+		return
+	}
+	for _, c := range cells {
+		s.persister.PersistCell(c.l, c.k, c.epoch)
+	}
 }
 
 // Epoch returns the current epoch.
@@ -211,14 +263,18 @@ func (s *Store) UpdateSuspicions(suspected ids.ProcSet) {
 	s.suspecting = suspected.Clone()
 	self := s.idx(s.env.ID())
 	s.mu.Lock()
-	changed := false
+	var cells []persistedCell
 	for _, p := range suspected.Sorted() {
-		if s.stampCell(self, s.idx(p), s.epoch) {
-			changed = true
+		if k := s.idx(p); s.stampCell(self, k, s.epoch) {
+			cells = append(cells, persistedCell{self, k, s.epoch})
 		}
 	}
 	row := append([]uint64(nil), s.matrix[self]...)
 	s.mu.Unlock()
+	changed := len(cells) > 0
+	// Persist before broadcasting: a stamped suspicion that reached
+	// the network must survive a local restart.
+	s.persistCells(cells)
 	if changed {
 		s.updateSizeGauge()
 	}
@@ -250,6 +306,9 @@ func (s *Store) IncrementEpoch() {
 	next := s.epoch + 1
 	s.advanceEpochLocked(next)
 	s.mu.Unlock()
+	if s.persister != nil {
+		s.persister.PersistEpoch(next)
+	}
 	s.env.Metrics().Inc("suspicion.epoch.advanced", 1)
 	runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(next))
 	runtime.Emit(s.env, obs.Event{Type: obs.TypeEpochAdvance, Epoch: next})
@@ -267,6 +326,9 @@ func (s *Store) ObserveEpoch(e uint64) {
 	s.advanceEpochLocked(e)
 	s.mu.Unlock()
 	if moved {
+		if s.persister != nil {
+			s.persister.PersistEpoch(e)
+		}
 		runtime.SetNodeGauge(s.env, "suspicion.epoch", float64(e))
 	}
 }
@@ -283,16 +345,19 @@ func (s *Store) HandleUpdate(m *wire.Update) bool {
 	}
 	owner := s.idx(m.Owner)
 	s.mu.Lock()
-	changedCells := 0
+	var cells []persistedCell
 	for k, v := range m.Row {
 		if s.stampCell(owner, k, v) {
-			changedCells++
+			cells = append(cells, persistedCell{owner, k, v})
 		}
 	}
 	s.mu.Unlock()
-	if changedCells == 0 {
+	if len(cells) == 0 {
 		return false
 	}
+	changedCells := len(cells)
+	// Persist before forwarding or re-evaluating the quorum.
+	s.persistCells(cells)
 	s.env.Metrics().Inc("suspicion.update.merged", 1)
 	s.env.Metrics().Observe("suspicion.merge.changed.cells", float64(changedCells))
 	s.updateSizeGauge()

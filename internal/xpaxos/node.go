@@ -7,6 +7,7 @@ import (
 	"quorumselect/internal/fd"
 	"quorumselect/internal/host"
 	"quorumselect/internal/runtime"
+	"quorumselect/internal/storage"
 )
 
 // NewQSNode composes an XPaxos replica with the full quorum-selection
@@ -28,6 +29,11 @@ type StandaloneOptions struct {
 	// Replica configures the XPaxos replica (Mode is forced to
 	// ModeEnumeration).
 	Replica Options
+	// Storage, when set, makes the node durable (see
+	// host.Options.Storage).
+	Storage storage.Backend
+	// StorageOptions tune the WAL (see host.Options.StorageOptions).
+	StorageOptions storage.Options
 }
 
 // DefaultStandaloneOptions mirrors core.DefaultNodeOptions.
@@ -64,6 +70,8 @@ func NewStandaloneNode(opts StandaloneOptions) *StandaloneNode {
 			HeartbeatPeriod: opts.HeartbeatPeriod,
 			App:             r,
 			OnSuspect:       r.OnSuspected,
+			Storage:         opts.Storage,
+			StorageOptions:  opts.StorageOptions,
 		}),
 		Replica: r,
 	}

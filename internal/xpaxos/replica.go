@@ -117,6 +117,12 @@ type Replica struct {
 	viewChanges int
 	ckpt        checkpoint
 
+	// wal is the host's durable log (nil when the host has no storage);
+	// recovering suppresses persistence, client callbacks, and
+	// checkpointing while the WAL tail replays.
+	wal        host.AppLog
+	recovering bool
+
 	// slotStart records when each slot's prepare was first accepted
 	// locally, feeding the commit-latency histogram.
 	slotStart map[uint64]time.Duration
@@ -351,6 +357,10 @@ func (r *Replica) acceptPrepare(p *wire.Prepare) {
 	e.prep = p
 	e.adopted = false
 	r.accepted[p.Slot] = p
+	// Persist-before-act: the COMMIT below promises this prepare is in
+	// our log, so it must be on disk before the COMMIT leaves.
+	r.persistRecord(recPrepareBytes(recAccepted, p))
+	r.persistSync()
 	// First subtlety (§V-A): no expectation for processes whose COMMIT
 	// already arrived.
 	for _, k := range r.active.Members {
@@ -442,6 +452,10 @@ func (r *Replica) onCommit(c *wire.Commit) {
 		e.prep = &prep
 		e.adopted = true
 		r.accepted[c.Slot] = &prep
+		// Adopted prepares carry the same promise as direct ones:
+		// persist before our COMMIT goes out.
+		r.persistRecord(recPrepareBytes(recAccepted, &prep))
+		r.persistSync()
 		r.expectPrepare(r.Leader(), c.View, c.Slot)
 		r.sendCommit(e, &prep)
 	}
@@ -463,6 +477,10 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 	e.committed = true
 	reqs := e.prep.Requests()
 	r.committedReq[slot] = reqs
+	// The slot is decided: persist the deciding prepare before
+	// executing it or shipping the certificate to passive replicas.
+	r.persistRecord(recPrepareBytes(recCommitted, e.prep))
+	r.persistSync()
 	r.env.Metrics().Inc("xpaxos.committed", int64(len(reqs)))
 	if start, ok := r.slotStart[slot]; ok {
 		r.env.Metrics().Observe("xpaxos.commit.latency.seconds",
@@ -524,6 +542,8 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 	if cur, ok := r.accepted[cert.Slot]; !ok || prep.View >= cur.View {
 		r.accepted[cert.Slot] = prep
 	}
+	r.persistRecord(recPrepareBytes(recCommitted, prep))
+	r.persistSync()
 	r.env.Metrics().Inc("xpaxos.cert.applied", 1)
 	r.execute()
 }
@@ -551,12 +571,12 @@ func (r *Replica) execute() {
 			}
 			r.executions = append(r.executions, exec)
 			r.env.Metrics().Inc("xpaxos.executed", 1)
-			if r.opts.OnExecute != nil {
+			if r.opts.OnExecute != nil && !r.recovering {
 				r.opts.OnExecute(exec)
 			}
 		}
 		runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", float64(r.lastExec-r.ckpt.Slot))
-		if r.opts.CheckpointInterval > 0 && r.lastExec%r.opts.CheckpointInterval == 0 {
+		if r.opts.CheckpointInterval > 0 && !r.recovering && r.lastExec%r.opts.CheckpointInterval == 0 {
 			r.takeCheckpoint()
 		}
 	}
@@ -589,6 +609,9 @@ func (r *Replica) takeCheckpoint() {
 	runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", 0)
 	runtime.Emit(r.env, obs.Event{Type: obs.TypeCheckpoint, View: r.view, Slot: r.lastExec})
 	r.gcBelow(r.lastExec)
+	// The checkpoint moved: compact the WAL behind a fresh durable
+	// snapshot.
+	r.persistSnapshot()
 }
 
 // restoreCheckpoint installs a stable checkpoint received during a view
@@ -628,6 +651,11 @@ func (r *Replica) restoreCheckpoint(slot uint64, data []byte) error {
 	r.env.Metrics().Inc("xpaxos.checkpoint.restored", 1)
 	runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", 0)
 	r.gcBelow(slot)
+	// The NEW-VIEW jump is not represented by WAL records, so it must
+	// become durable as a snapshot immediately: recovering to the
+	// pre-jump state would roll lastExec back below slots this replica
+	// has already acknowledged executing.
+	r.persistSnapshot()
 	return nil
 }
 

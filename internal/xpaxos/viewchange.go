@@ -84,6 +84,12 @@ func (r *Replica) startViewChange(v uint64) {
 	// buffered for an older in-progress view are obsolete.
 	r.entries = make(map[uint64]*entry)
 	r.buffered = nil
+	// Persist-before-act: the adopted view must be on disk before the
+	// VIEW-CHANGE announces it — a replica that crashes after sending
+	// must not recover into the abandoned view and accept prepares
+	// there.
+	r.persistRecord(recViewBytes(v))
+	r.persistSync()
 
 	vc := &wire.ViewChange{
 		Replica:        r.env.ID(),
@@ -150,6 +156,13 @@ func (r *Replica) recordViewChange(vc *wire.ViewChange) {
 		r.vcVotes[v] = votes
 	}
 	votes[vc.Replica] = vc
+	// View-change votes hit disk before they count: the install
+	// decision below is a function of the vote set, and a leader that
+	// installed a view, crashed, and recovered without the votes could
+	// otherwise install a different log for the same view from a
+	// fresher vote set (see DESIGN.md §10).
+	r.persistRecord(recVoteBytes(vc))
+	r.persistSync()
 	// Install once every member of the new quorum reported (XFT: all
 	// q members of the active quorum participate).
 	for _, p := range r.active.Members {

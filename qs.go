@@ -13,6 +13,7 @@ import (
 	"quorumselect/internal/obs"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
+	"quorumselect/internal/storage"
 	"quorumselect/internal/suspicion"
 	"quorumselect/internal/tendermint"
 	"quorumselect/internal/transport"
@@ -91,6 +92,15 @@ type (
 	Event = obs.Event
 	// EventType classifies protocol events.
 	EventType = obs.Type
+	// StorageBackend is the durable-storage interface a composed node
+	// persists through (see NodeOptions.Storage).
+	StorageBackend = storage.Backend
+	// StorageOptions tune the write-ahead log (segment size,
+	// group-commit batch, flush latency).
+	StorageOptions = storage.Options
+	// MemStorage is the in-memory StorageBackend with crash simulation,
+	// for tests and experiments.
+	MemStorage = storage.MemBackend
 )
 
 // NewEventBus returns an event bus retaining up to capacity events
@@ -134,6 +144,15 @@ func NewXPaxosNode(opts XPaxosOptions, nodeOpts NodeOptions) (*Node, *XPaxosRepl
 
 // NewKVMachine returns an empty key-value state machine.
 func NewKVMachine() *KVMachine { return xpaxos.NewKVMachine() }
+
+// NewDirStorage opens (creating if needed) a directory-backed durable
+// storage backend. Wire it into NodeOptions.Storage to make a node's
+// protocol state survive crashes.
+func NewDirStorage(dir string) (StorageBackend, error) { return storage.NewDirBackend(dir) }
+
+// NewMemStorage returns an in-memory storage backend whose Crash method
+// simulates power loss (unsynced writes are dropped).
+func NewMemStorage() *MemStorage { return storage.NewMemBackend() }
 
 // Tendermint-style consensus (the §X future-work integration).
 type (
