@@ -6,6 +6,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -60,20 +61,53 @@ type appLog struct{ h *Host }
 
 func (l appLog) Append(rec []byte) error { return l.h.appendTagged(tagApp, rec) }
 
-func (l appLog) Sync() error { return l.h.storage.Sync() }
+func (l appLog) Sync() error {
+	if l.h.storage == nil {
+		return storage.ErrClosed
+	}
+	return l.h.storageErr("sync", l.h.storage.Sync())
+}
 
 func (l appLog) Snapshot(app []byte) error {
+	if l.h.storage == nil {
+		return storage.ErrClosed
+	}
 	var b wire.Buffer
 	b.PutBytes(l.h.encodeSuspicionState())
 	b.PutBytes(app)
-	return l.h.storage.WriteSnapshot(b.Bytes())
+	return l.h.storageErr("snapshot", l.h.storage.WriteSnapshot(b.Bytes()))
 }
 
 func (h *Host) appendTagged(tag byte, payload []byte) error {
+	if h.storage == nil {
+		return storage.ErrClosed
+	}
 	rec := make([]byte, 0, 1+len(payload))
 	rec = append(rec, tag)
 	rec = append(rec, payload...)
-	return h.storage.Append(rec)
+	return h.storageErr("append", h.storage.Append(rec))
+}
+
+// storageErr is the kernel's durability failure policy. ErrCrashed (a
+// MemBackend after an injected power cut — the process is already dead
+// by fiat) and ErrClosed (Stop raced the event loop) are shutdown
+// artifacts: counted and returned for the caller to tolerate. Anything
+// else is a real backend refusing to persist (ENOSPC, EIO, an oversized
+// record): Store errors are sticky, so from this point every
+// persist-before-act barrier would silently pass while nothing reaches
+// disk — the replica would keep sending COMMITs and view-change votes
+// with zero durability behind them, breaking the fork-safety argument
+// of DESIGN.md §10. A durable replica that cannot persist must
+// fail-stop, so the kernel panics.
+func (h *Host) storageErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	h.env.Metrics().Inc("host.storage.errors", 1)
+	if errors.Is(err, storage.ErrCrashed) || errors.Is(err, storage.ErrClosed) {
+		return err
+	}
+	panic(fmt.Sprintf("host: durable %s failed: %v — halting: continuing without durability would break persist-before-act (DESIGN.md §10)", op, err))
 }
 
 // openStorage opens (and thereby recovers) the durable store, restores

@@ -19,9 +19,12 @@ import (
 var _ host.DurableApp = (*Replica)(nil)
 
 // persistCommitted logs a slot's deciding request and forces the group
-// commit: the persist-before-act barrier ahead of execution. Failures
-// are counted, not fatal — with the in-memory chaos backend they only
-// occur after an injected crash.
+// commit: the persist-before-act barrier ahead of execution. An error
+// reaching this code is always a tolerated shutdown artifact — the host
+// kernel fail-stops (panics) on any real persist failure before
+// returning it (host.Host.storageErr), so what comes back here is
+// storage.ErrCrashed after an injected crash or storage.ErrClosed when
+// Stop raced; counted, not acted on.
 func (r *Replica) persistCommitted(slot uint64, req *wire.Request) {
 	if r.wal == nil || r.recovering {
 		return

@@ -12,7 +12,16 @@ import (
 // after Create/Rename/Remove are best-effort: they matter for
 // crash-atomicity of the rename-based snapshot commit but some
 // platforms reject fsync on directories, and a failure there never
-// loses WAL bytes (those are covered by file fsyncs).
+// loses WAL bytes (those are covered by file fsyncs). This weaker
+// metadata-durability model — a crash may undo recent creates, renames,
+// and removes — is what MemBackend's SetVolatileMetadata simulates
+// (rolling the pending batch back in reverse, i.e. an ordered metadata
+// journal losing its tail); TestSnapshotCommitSurvivesVolatileMetadata
+// pins down that the snapshot commit stays atomic under it. What
+// neither backend models is a filesystem that *reorders* metadata
+// across a crash (e.g. the segment unlinks surviving while the earlier
+// snapshot rename is lost); mount data-journaling filesystems
+// accordingly.
 type DirBackend struct {
 	dir string
 }

@@ -14,13 +14,24 @@ import (
 // time — exactly kill -9 — while fresh Creates afterwards succeed,
 // modeling the restarted process reopening its data directory. The
 // simulator and chaos harness give each replica its own MemBackend so
-// crash-recovery schedules stay fully deterministic.
+// crash-recovery schedules stay fully deterministic. Two opt-in
+// weakenings tighten the model further: SetSkipSync (fsyncs that lie)
+// and SetVolatileMetadata (creates/renames/removes that a crash rolls
+// back, matching DirBackend's best-effort directory fsyncs).
 type MemBackend struct {
 	mu       sync.Mutex
 	files    map[string]*memFileData
 	gen      uint64
 	crashes  int
 	skipSync bool
+
+	// volatileMeta models the weaker metadata-durability of a real
+	// filesystem: while enabled, Create/Rename/Remove push an undo onto
+	// metaUndo and Crash rolls the whole pending batch back (newest
+	// first), as if the directory's metadata journal tail was lost in
+	// the power cut. See SetVolatileMetadata.
+	volatileMeta bool
+	metaUndo     []func()
 }
 
 type memFileData struct {
@@ -40,6 +51,12 @@ func NewMemBackend() *MemBackend {
 func (b *MemBackend) Crash() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// Pending metadata first (newest first), so restored files are then
+	// subject to the data truncation below like everything else.
+	for i := len(b.metaUndo) - 1; i >= 0; i-- {
+		b.metaUndo[i]()
+	}
+	b.metaUndo = nil
 	for _, f := range b.files {
 		f.data = f.data[:f.durable]
 	}
@@ -62,6 +79,24 @@ func (b *MemBackend) SetSkipSync(v bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.skipSync = v
+}
+
+// SetVolatileMetadata toggles the metadata crash window. By default
+// Create/Rename/Remove are instantly durable — a stronger model than
+// DirBackend, whose post-op directory fsyncs are best-effort. With
+// volatile metadata enabled, those operations take effect immediately
+// but are rolled back as a unit by Crash (reverse order, modeling an
+// ordered metadata journal losing its un-flushed tail), so tests can
+// exercise lost-rename/lost-create schedules: a snapshot whose rename
+// never became durable, a created segment whose directory entry
+// vanished. Disabling the mode commits every pending operation.
+func (b *MemBackend) SetVolatileMetadata(v bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.volatileMeta = v
+	if !v {
+		b.metaUndo = nil
+	}
 }
 
 // List implements Backend.
@@ -93,6 +128,16 @@ func (b *MemBackend) ReadFile(name string) ([]byte, error) {
 func (b *MemBackend) Create(name string) (File, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.volatileMeta {
+		prev, existed := b.files[name]
+		b.metaUndo = append(b.metaUndo, func() {
+			if existed {
+				b.files[name] = prev
+			} else {
+				delete(b.files, name)
+			}
+		})
+	}
 	b.files[name] = &memFileData{}
 	return &memHandle{b: b, name: name, gen: b.gen}, nil
 }
@@ -105,6 +150,17 @@ func (b *MemBackend) Rename(oldName, newName string) error {
 	if !ok {
 		return fmt.Errorf("storage: rename %s: %w", oldName, fs.ErrNotExist)
 	}
+	if b.volatileMeta {
+		prevNew, newExisted := b.files[newName]
+		b.metaUndo = append(b.metaUndo, func() {
+			b.files[oldName] = f
+			if newExisted {
+				b.files[newName] = prevNew
+			} else {
+				delete(b.files, newName)
+			}
+		})
+	}
 	b.files[newName] = f
 	delete(b.files, oldName)
 	return nil
@@ -114,8 +170,12 @@ func (b *MemBackend) Rename(oldName, newName string) error {
 func (b *MemBackend) Remove(name string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.files[name]; !ok {
+	f, ok := b.files[name]
+	if !ok {
 		return fmt.Errorf("storage: remove %s: %w", name, fs.ErrNotExist)
+	}
+	if b.volatileMeta {
+		b.metaUndo = append(b.metaUndo, func() { b.files[name] = f })
 	}
 	delete(b.files, name)
 	return nil

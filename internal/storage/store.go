@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"sync"
 	"time"
 )
@@ -85,6 +86,18 @@ func (s *Store) recover() error {
 	if err != nil {
 		return err
 	}
+
+	// A crash between creating a temp file and renaming it into place
+	// strands a *.tmp nothing else ever collects (post-snapshot cleanup
+	// only prunes segments and snapshots); sweep them here so they don't
+	// accumulate across crashes.
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			s.inc("storage.recover.tmp_removed", 1)
+			_ = s.b.Remove(name)
+		}
+	}
+
 	segs, snaps := scanNames(names)
 
 	// Newest valid snapshot wins; corrupt ones are removed and the
@@ -151,12 +164,25 @@ func (s *Store) recover() error {
 
 	// Records are only usable if they are contiguous with the
 	// snapshot: a gap (snapshot lost to corruption while newer
-	// segments survived) would misalign replay, so drop them.
+	// segments survived) would misalign replay, so drop them — and
+	// drop them physically. The gapped segments must go and the append
+	// cursor must rewind to the snapshot: if new appends landed after
+	// the orphaned range, firstKept > snapIndex would hold again on
+	// every later recovery and each one would re-drop fsync-acknowledged
+	// records forever.
 	if len(records) > 0 {
 		firstKept := expected - uint64(len(records))
 		if firstKept > s.snapIndex {
 			s.inc("storage.recover.gap_dropped_records", int64(len(records)))
 			records = nil
+			for _, first := range segs {
+				// Segments past a torn frame were already removed above;
+				// only count the ones this pass actually deletes.
+				if s.b.Remove(segName(first)) == nil {
+					s.inc("storage.recover.dropped_segments", 1)
+				}
+			}
+			expected = s.snapIndex
 		}
 	}
 
@@ -176,13 +202,18 @@ func (s *Store) recover() error {
 
 // repairSegment rewrites a segment to its valid byte prefix (or removes
 // it when nothing valid remains) so the garbage tail cannot shadow
-// later appends on the next recovery.
+// later appends on the next recovery. The rewrite goes through a temp
+// file and a rename (the same commit pattern WriteSnapshot uses): an
+// in-place truncate-and-rewrite would open a window where a crash
+// between Create and Sync destroys the fsync-acknowledged prefix we are
+// trying to preserve.
 func (s *Store) repairSegment(first uint64, valid []byte) error {
 	name := segName(first)
 	if len(valid) == 0 {
 		return s.b.Remove(name)
 	}
-	f, err := s.b.Create(name)
+	tmp := name + tmpSuffix
+	f, err := s.b.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -194,7 +225,10 @@ func (s *Store) repairSegment(first uint64, valid []byte) error {
 		_ = f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.b.Rename(tmp, name)
 }
 
 // Append frames rec and writes it to the current segment, rotating

@@ -395,6 +395,179 @@ func TestWipe(t *testing.T) {
 	}
 }
 
+// TestGapDropRemovesOrphanedSegments: when recovery drops records that
+// are not contiguous with the recovered snapshot, the orphaned segments
+// must be deleted and the append cursor rewound to the snapshot —
+// otherwise new appends land after the orphaned range and every later
+// recovery re-drops them, making all post-recovery writes silently
+// non-recoverable.
+func TestGapDropRemovesOrphanedSegments(t *testing.T) {
+	b := NewMemBackend()
+	s := mustOpen(t, b, Options{SyncEvery: 1})
+	appendAll(t, s, 0, 10)
+	if err := s.WriteSnapshot([]byte("snap-10")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, 10, 20)
+	if err := s.WriteSnapshot([]byte("snap-20")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, 20, 30)
+	s.Close()
+
+	// Corrupt the only snapshot: recovery falls back to empty, and the
+	// surviving segment (records 20..30) is gapped relative to it.
+	name := snapName(20)
+	data, _ := b.ReadFile(name)
+	data[len(data)-1] ^= 0x01
+	f, _ := b.Create(name)
+	f.Write(data)
+	f.Sync()
+	f.Close()
+
+	s2 := mustOpen(t, b, Options{SyncEvery: 1})
+	snap, recs := s2.Recovered()
+	if snap != nil || len(recs) != 0 {
+		t.Fatalf("expected empty recovery, got snap=%q recs=%d", snap, len(recs))
+	}
+	if s2.NextIndex() != 0 {
+		t.Fatalf("NextIndex after gap-drop = %d, want 0 (rewound to snapshot)", s2.NextIndex())
+	}
+	names, _ := b.List()
+	if segs, _ := scanNames(names); len(segs) != 0 {
+		t.Fatalf("orphaned segments survived gap-drop: %v", names)
+	}
+
+	// The regression: writes accepted after a gap-drop recovery must be
+	// recoverable on the next open, not dropped again.
+	appendAll(t, s2, 0, 5)
+	s2.Close()
+	s3 := mustOpen(t, b, Options{})
+	snap3, recs3 := s3.Recovered()
+	if snap3 != nil {
+		t.Fatalf("unexpected snapshot: %q", snap3)
+	}
+	wantRecords(t, recs3, 0, 5)
+}
+
+// TestRecoverRemovesStaleTempFiles: a crash between creating a temp
+// file and renaming it into place must not leak the temp forever —
+// recovery sweeps them.
+func TestRecoverRemovesStaleTempFiles(t *testing.T) {
+	b := NewMemBackend()
+	s := mustOpen(t, b, Options{SyncEvery: 1})
+	appendAll(t, s, 0, 5)
+	s.Close()
+	for _, stale := range []string{snapName(20) + tmpSuffix, segName(0) + tmpSuffix} {
+		f, _ := b.Create(stale)
+		f.Write([]byte("partial garbage"))
+		f.Sync()
+		f.Close()
+	}
+
+	s2 := mustOpen(t, b, Options{})
+	_, recs := s2.Recovered()
+	wantRecords(t, recs, 0, 5)
+	names, _ := b.List()
+	for _, name := range names {
+		if len(name) > len(tmpSuffix) && name[len(name)-len(tmpSuffix):] == tmpSuffix {
+			t.Fatalf("stale temp file survived recovery: %v", names)
+		}
+	}
+}
+
+// crashOnRenameBackend injects a power cut at the worst moment of a
+// segment repair: after the temp file is written but before the rename
+// commits it.
+type crashOnRenameBackend struct {
+	*MemBackend
+	armed bool
+}
+
+func (b *crashOnRenameBackend) Rename(oldName, newName string) error {
+	if b.armed {
+		b.armed = false
+		b.Crash()
+		return ErrCrashed
+	}
+	return b.MemBackend.Rename(oldName, newName)
+}
+
+// TestRepairSurvivesCrashDuringRepair: torn-tail repair must never
+// expose the fsync-acknowledged prefix to a crash window. A crash at
+// any point of the repair leaves the original segment intact, so the
+// next recovery still sees every acknowledged record.
+func TestRepairSurvivesCrashDuringRepair(t *testing.T) {
+	b := &crashOnRenameBackend{MemBackend: NewMemBackend()}
+	s := mustOpen(t, b, Options{SyncEvery: 1})
+	appendAll(t, s, 0, 5)
+	s.Close()
+	// Durable torn tail: recovery will want to repair the segment.
+	name := segName(0)
+	data, _ := b.ReadFile(name)
+	f, _ := b.MemBackend.Create(name)
+	f.Write(append(data, 0xFF, 0x00, 0x00, 0x00, 0xAA))
+	f.Sync()
+	f.Close()
+
+	b.armed = true
+	if _, err := Open(b, Options{}); err == nil {
+		t.Fatal("Open during injected repair crash should fail")
+	}
+
+	// The restarted process recovers the full acknowledged prefix and
+	// leaves no temp debris behind.
+	s2 := mustOpen(t, b, Options{})
+	_, recs := s2.Recovered()
+	wantRecords(t, recs, 0, 5)
+	names, _ := b.List()
+	for _, n := range names {
+		if len(n) > len(tmpSuffix) && n[len(n)-len(tmpSuffix):] == tmpSuffix {
+			t.Fatalf("repair temp file survived: %v", names)
+		}
+	}
+}
+
+// TestSnapshotCommitSurvivesVolatileMetadata runs the snapshot commit
+// under the weaker metadata model DirBackend actually provides
+// (best-effort directory fsyncs): if the crash rolls back the whole
+// metadata batch — temp create, rename, segment removes — recovery must
+// come back with the full pre-snapshot WAL; if the metadata committed,
+// the snapshot wins. Either way no acknowledged record is lost.
+func TestSnapshotCommitSurvivesVolatileMetadata(t *testing.T) {
+	// Lost-rename schedule.
+	b := NewMemBackend()
+	s := mustOpen(t, b, Options{SyncEvery: 1})
+	appendAll(t, s, 0, 10)
+	b.SetVolatileMetadata(true)
+	if err := s.WriteSnapshot([]byte("snap-10")); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	s2 := mustOpen(t, b, Options{})
+	snap, recs := s2.Recovered()
+	if snap != nil {
+		t.Fatalf("rolled-back snapshot resurfaced: %q", snap)
+	}
+	wantRecords(t, recs, 0, 10)
+
+	// Same schedule with the metadata batch committed before the crash.
+	b2 := NewMemBackend()
+	s3 := mustOpen(t, b2, Options{SyncEvery: 1})
+	appendAll(t, s3, 0, 10)
+	b2.SetVolatileMetadata(true)
+	if err := s3.WriteSnapshot([]byte("snap-10")); err != nil {
+		t.Fatal(err)
+	}
+	b2.SetVolatileMetadata(false) // directory fsyncs landed
+	b2.Crash()
+	s4 := mustOpen(t, b2, Options{})
+	snap4, recs4 := s4.Recovered()
+	if string(snap4) != "snap-10" || len(recs4) != 0 {
+		t.Fatalf("committed snapshot lost: snap=%q recs=%d", snap4, len(recs4))
+	}
+}
+
 func TestDirBackendRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	b, err := NewDirBackend(dir)

@@ -42,9 +42,13 @@ const (
 var _ host.DurableApp = (*Replica)(nil)
 
 // persistRecord appends one durable record; persistSync is the
-// persist-before-act barrier. Append/sync failures are counted, not
-// fatal: with the in-memory chaos backend they only occur after an
-// injected crash, when the process is already dead by fiat.
+// persist-before-act barrier. An error reaching this code is always a
+// tolerated shutdown artifact: the host kernel fail-stops (panics) on
+// any real persist failure before returning it (host.Host.storageErr),
+// so what comes back here is storage.ErrCrashed from the simulated
+// backend after an injected power cut — when the process is already
+// dead by fiat — or storage.ErrClosed when Stop raced the event loop.
+// Those are counted, not acted on.
 func (r *Replica) persistRecord(rec []byte) {
 	if r.wal == nil || r.recovering {
 		return
