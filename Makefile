@@ -31,11 +31,11 @@ check:
 	$(GO) test -race ./...
 
 # bench runs every benchmark with allocation stats and writes the
-# machine-readable report BENCH_PR5.json (see cmd/benchjson), including
-# the WAL group-commit amortization ratios.
+# machine-readable report BENCH_PR6.json (see cmd/benchjson), including
+# the tracing-overhead ratio and the commit-path stage breakdown.
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # chaos sweeps CHAOS_SEEDS seeds of the scenario fuzzer per protocol
 # and fails on the first invariant violation, printing the violating

@@ -2,11 +2,12 @@
 // machine-readable JSON report. Every benchmark line becomes a
 // name → {ns/op, B/op, allocs/op, custom metrics} entry; the
 // suspect-graph build-vs-cached pairs, the XPaxos batched-throughput
-// sweep, and the WAL group-commit sweep are summarised as derived
-// speedup/amortization ratios. Input lines are echoed to stdout so the
+// sweep, the WAL group-commit sweep, the tracing-overhead pair, and the
+// commit-path stage breakdown are summarised as derived
+// speedup/amortization/overhead ratios. Input lines are echoed to stdout so the
 // command can sit at the end of a pipe without hiding the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR5.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR6.json
 package main
 
 import (
@@ -37,7 +38,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR6.json", "output JSON file")
 	flag.Parse()
 
 	rep := Report{Derived: map[string]float64{}}
@@ -67,6 +68,8 @@ func main() {
 	deriveGraphRatios(&rep)
 	deriveBatchingSpeedup(&rep)
 	deriveWALAmortization(&rep)
+	deriveTraceOverhead(&rep)
+	deriveStagePct(&rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -177,6 +180,44 @@ func deriveBatchingSpeedup(rep *Report) {
 		}
 		rep.Derived["xpaxos.batching.throughput_x."+batch] =
 			b.Metrics["req/s"] / base.Metrics["req/s"]
+	}
+}
+
+// deriveTraceOverhead records what span recording costs on the
+// committed-request path: the benchmark's median-of-paired-chunks
+// overhead percentage at batch 32 and the equivalent throughput ratio.
+// The tracing layer's acceptance bar is overhead_pct ≤ 5 (negative
+// values mean the traced side measured faster — i.e. the cost is below
+// benchmark noise).
+func deriveTraceOverhead(rep *Report) {
+	for _, b := range rep.Benchmarks {
+		if b.Name != "BenchmarkXPaxosTracedThroughput/batch=32" {
+			continue
+		}
+		pct, ok := b.Metrics["overhead_pct"]
+		if !ok {
+			continue
+		}
+		rep.Derived["trace.overhead.pct.batch32"] = pct
+		rep.Derived["trace.overhead.throughput_x.batch32"] = 100 / (100 + pct)
+	}
+}
+
+// deriveStagePct lifts the commit-path stage shares reported by
+// BenchmarkXPaxosCommitPathStages (pct.<stage> custom metrics) into
+// commit_path.stage_pct.<stage>: where a committed request's time goes
+// between ingress buffering, leader propose, follower accept, the
+// commit-quorum wait, and execution.
+func deriveStagePct(rep *Report) {
+	for _, b := range rep.Benchmarks {
+		if b.Name != "BenchmarkXPaxosCommitPathStages" {
+			continue
+		}
+		for unit, v := range b.Metrics {
+			if stage, ok := strings.CutPrefix(unit, "pct."); ok {
+				rep.Derived["commit_path.stage_pct."+stage] = v
+			}
+		}
 	}
 }
 

@@ -18,18 +18,21 @@ import (
 	"os"
 
 	"quorumselect/internal/chaos"
+	"quorumselect/internal/metrics"
 )
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", -1, "replay this single seed and print its full dump")
-		seeds     = flag.Int("seeds", 50, "how many consecutive seeds to run per protocol")
-		first     = flag.Int64("first", 0, "first seed of the sweep")
-		protocols = flag.String("protocol", "all", "comma-separated protocols (qs,xpaxos,pbftlite,tendermint) or all")
-		faults    = flag.String("faults", "all", "comma-separated fault classes or all")
-		n         = flag.Int("n", 4, "cluster size")
-		f         = flag.Int("f", 1, "failure threshold")
-		batch     = flag.Int("batch", 1, "replica batch size")
+		seed        = flag.Int64("seed", -1, "replay this single seed and print its full dump")
+		seeds       = flag.Int("seeds", 50, "how many consecutive seeds to run per protocol")
+		first       = flag.Int64("first", 0, "first seed of the sweep")
+		protocols   = flag.String("protocol", "all", "comma-separated protocols (qs,xpaxos,pbftlite,tendermint) or all")
+		faults      = flag.String("faults", "all", "comma-separated fault classes or all")
+		n           = flag.Int("n", 4, "cluster size")
+		f           = flag.Int("f", 1, "failure threshold")
+		batch       = flag.Int("batch", 1, "replica batch size")
+		metricsDump = flag.Bool("metrics-dump", false, "print the campaign's metrics in Prometheus text format after the run")
+		traceDump   = flag.String("trace-dump", "", "write the flight-recorder dump (spans + events JSON) of a replayed or violating seed to this file")
 	)
 	flag.Parse()
 
@@ -42,7 +45,9 @@ func main() {
 		fatal(err)
 	}
 
+	reg := metrics.NewRegistry()
 	failed := false
+	var flight []byte
 	for _, p := range ps {
 		cfg := chaos.Config{
 			N: *n, F: *f,
@@ -51,10 +56,12 @@ func main() {
 			BatchSize: *batch,
 			Seeds:     *seeds,
 			FirstSeed: *first,
+			Metrics:   reg,
 		}
 		if *seed >= 0 {
-			dump, v := chaos.Replay(cfg, *seed)
+			dump, fl, v := chaos.ReplayDump(cfg, *seed)
 			fmt.Print(dump)
+			flight = fl
 			if v != nil {
 				failed = true
 			}
@@ -65,10 +72,21 @@ func main() {
 			failed = true
 			fmt.Printf("%-10s FAIL after %d seeds: %v\n", p, res.Seeds, res.Violation)
 			fmt.Print(res.Violation.Dump)
+			flight = res.Violation.Flight
 			fmt.Printf("reproduce: go run ./cmd/chaos -seed %d -protocol %s\n", res.Violation.Seed, p)
 			continue
 		}
 		fmt.Printf("%-10s ok  %d seeds (%d..%d), no violations\n", p, res.Seeds, *first, *first+int64(res.Seeds)-1)
+	}
+	if *traceDump != "" && flight != nil {
+		if err := os.WriteFile(*traceDump, flight, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight-recorder dump written to %s\n", *traceDump)
+	}
+	if *metricsDump {
+		fmt.Println()
+		reg.WriteTo(os.Stdout)
 	}
 	if failed {
 		os.Exit(1)

@@ -132,10 +132,28 @@ func (f *frontend) handleKV(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the host's registry in Prometheus text
-// exposition format 0.0.4.
+// exposition format 0.0.4. Observability-loss gauges (event-bus and
+// span-ring evictions) are refreshed at scrape time so they always
+// reflect the rings' current totals.
 func (f *frontend) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := f.host.Metrics()
+	reg.SetGauge("obs.bus.dropped", float64(f.host.Events().Dropped()))
+	reg.SetGauge("tracer.ring.dropped", float64(f.host.Tracer().Dropped()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	f.host.Metrics().WriteTo(w)
+	reg.WriteTo(w)
+}
+
+// handleTrace dumps the host's span ring (plus the protocol event ring)
+// as a flight-recorder snapshot. ?format=chrome re-encodes the dump in
+// Chrome trace-event format for chrome://tracing / Perfetto.
+func (f *frontend) handleTrace(w http.ResponseWriter, r *http.Request) {
+	d := qs.CaptureTrace("trace endpoint", f.host.Tracer(), f.host.Events())
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Write(d.Chrome())
+		return
+	}
+	w.Write(d.JSON())
 }
 
 // handleEvents serves the protocol event ring as JSON. ?since=N returns
@@ -175,6 +193,7 @@ func serveHTTP(addr string, f *frontend) *http.Server {
 	mux.HandleFunc("/kv", f.handleKV)
 	mux.HandleFunc("/metrics", f.handleMetrics)
 	mux.HandleFunc("/events", f.handleEvents)
+	mux.HandleFunc("/trace", f.handleTrace)
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -28,6 +28,7 @@ import (
 
 	qs "quorumselect"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/wire"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory (empty: run in-memory); each process needs its own")
 	httpAddr := flag.String("http", "", "client-facing HTTP address (server mode), e.g. 127.0.0.1:8081")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listener address (server mode), e.g. 127.0.0.1:6060")
+	flight := flag.String("flight", "", "write fail-stop flight-recorder dumps to this file instead of stderr (server mode)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -49,7 +51,7 @@ func main() {
 		runLocal(*n, *f, *secret, *requests, *dataDir, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *dataDir, *httpAddr, *debugAddr, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
 }
 
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
@@ -85,12 +87,13 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 		Peers:      addrs,
 		Auth:       qs.NewHMACAuth(cfg, []byte(secret)),
 		Logger:     logger,
+		Tracer:     qs.NewTracer(0),
 		Seed:       int64(p),
 	}, node)
 	return host, replica, kv, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debugAddr string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -110,6 +113,18 @@ func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debug
 	listen := addrs[self]
 	delete(addrs, self)
 
+	if flight != "" {
+		// Fail-stop crashes (storage persist failures) dump the flight
+		// recorder here instead of stderr, so a post-mortem survives log
+		// rotation and redirection.
+		fw, err := os.Create(flight)
+		if err != nil {
+			log.Fatalf("open flight file: %v", err)
+		}
+		defer fw.Close()
+		tracer.SetCrashWriter(fw)
+	}
+
 	var fe *frontend
 	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, dataDir, verbose,
 		func(e qs.Execution) {
@@ -126,7 +141,7 @@ func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debug
 		fe = newFrontend(host, replica, kv, uint64(self))
 		srv := serveHTTP(httpAddr, fe)
 		defer srv.Close()
-		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=..., GET /metrics, GET /events?since=N)\n", httpAddr)
+		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=..., GET /metrics, GET /events?since=N, GET /trace[?format=chrome])\n", httpAddr)
 	}
 	if debugAddr != "" {
 		dbg := serveDebug(debugAddr)

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"quorumselect/internal/ids"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/trace"
 	"quorumselect/internal/wire"
 	"quorumselect/internal/xpaxos"
@@ -33,6 +35,7 @@ const probeCount = 4
 const (
 	dumpEvents = 200
 	dumpTrace  = 120
+	dumpSpans  = 120
 )
 
 // Config parameterizes a chaos campaign.
@@ -66,6 +69,11 @@ type Config struct {
 	// own tests can inject an agreement bug and prove the fuzzer catches
 	// it.
 	TamperHistory func(p ids.ProcessID, h []xpaxos.Execution) []xpaxos.Execution
+	// Metrics, when set, receives every run's metrics (message
+	// accounting, protocol counters, span/event drop gauges). Shared
+	// across the seeds of a sweep; nil keeps accounting private to the
+	// run.
+	Metrics *metrics.Registry
 	// TamperSkipSync, when set, makes every member's storage backend
 	// acknowledge fsyncs without making the writes durable. Test-only:
 	// a hard crash then loses acknowledged state, and the
@@ -117,6 +125,12 @@ type Violation struct {
 	// the tails of the observability and trace streams. It is
 	// byte-identical across replays of the same seed.
 	Dump string
+	// Flight is the flight-recorder dump (tracer.Dump JSON): the
+	// retained causal spans and protocol events of the violating run.
+	// Span identifiers are node-prefixed sequence numbers and all
+	// timestamps are virtual, so it too is byte-identical across
+	// replays of the same seed.
+	Flight []byte
 }
 
 // Error implements error.
@@ -141,7 +155,7 @@ func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	for i := 0; i < cfg.Seeds; i++ {
 		seed := cfg.FirstSeed + int64(i)
-		if v, _ := runSeed(cfg, seed, false); v != nil {
+		if v, _, _ := runSeed(cfg, seed, false); v != nil {
 			return Result{Protocol: cfg.Protocol, Seeds: i + 1, Violation: v}
 		}
 	}
@@ -150,15 +164,23 @@ func Run(cfg Config) Result {
 
 // RunSeed executes one seed and returns its violation, if any.
 func RunSeed(cfg Config, seed int64) *Violation {
-	v, _ := runSeed(cfg.withDefaults(), seed, false)
+	v, _, _ := runSeed(cfg.withDefaults(), seed, false)
 	return v
 }
 
 // Replay executes one seed and returns the full trace dump regardless
 // of outcome — the reproduction path for a seed Run reported.
 func Replay(cfg Config, seed int64) (string, *Violation) {
-	v, dump := runSeed(cfg.withDefaults(), seed, true)
+	dump, _, v := ReplayDump(cfg, seed)
 	return dump, v
+}
+
+// ReplayDump is Replay plus the flight-recorder dump: the text trace,
+// the tracer.Dump JSON (spans and protocol events), and the violation,
+// if any. Both dumps are byte-identical across replays of one seed.
+func ReplayDump(cfg Config, seed int64) (string, []byte, *Violation) {
+	v, dump, flight := runSeed(cfg.withDefaults(), seed, true)
+	return dump, flight, v
 }
 
 // RunState is the live run handed to checkers: the scenario being
@@ -205,10 +227,10 @@ func (r *RunState) submit(req *wire.Request) {
 }
 
 // runSeed generates, executes, and checks one scenario.
-func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string) {
+func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string, []byte) {
 	idsCfg := ids.MustConfig(cfg.N, cfg.F)
 	sc := GenerateScenario(idsCfg, seed, cfg.Faults, cfg.Protocol.restartable(), cfg.FaultEnd)
-	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, cfg.TamperSkipSync, seed, sc.Filter)
+	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, cfg.TamperSkipSync, seed, sc.Filter, cfg.Metrics)
 	defer cl.net.Close()
 
 	rs := &RunState{Config: cfg, Scenario: sc, cluster: cl,
@@ -277,14 +299,29 @@ func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string) {
 		violation = runCheckers(checkers, rs, PhaseFinal, seed)
 	}
 
+	// Observability loss accounting: how much of each bounded stream the
+	// run evicted (non-zero drops mean the dumps below are tails).
+	reg := cl.net.Metrics()
+	reg.SetGauge("obs.bus.dropped", float64(cl.bus.Dropped()))
+	reg.SetGauge("trace.ring.dropped", float64(cl.rec.Dropped()))
+	reg.SetGauge("tracer.ring.dropped", float64(cl.spans.Dropped()))
+
 	var dump string
+	var flight []byte
 	if violation != nil || alwaysDump {
 		dump = rs.dump(violation)
+		reason := fmt.Sprintf("chaos replay seed=%d", seed)
+		if violation != nil {
+			reason = fmt.Sprintf("chaos violation seed=%d checker=%s at=%s",
+				seed, violation.Checker, violation.At)
+		}
+		flight = tracer.Capture(reason, cl.spans, cl.bus).JSON()
 	}
 	if violation != nil {
 		violation.Dump = dump
+		violation.Flight = flight
 	}
-	return violation, dump
+	return violation, dump, flight
 }
 
 // runCheckers evaluates the suite and converts the first failure into a
@@ -334,6 +371,15 @@ func (r *RunState) dump(v *Violation) string {
 	fmt.Fprintf(&b, "trace (last %d):\n", len(tes))
 	for _, e := range tes {
 		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	spans := r.cluster.spans.Spans()
+	if len(spans) > dumpSpans {
+		spans = spans[len(spans)-dumpSpans:]
+	}
+	fmt.Fprintf(&b, "spans (last %d):\n", len(spans))
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  %s node=%s trace=%x id=%x parent=%x start=%s dur=%s slot=%d view=%d\n",
+			s.Name, s.Node, s.Trace, s.ID, s.Parent, s.Start, s.Dur, s.Slot, s.View)
 	}
 	return b.String()
 }

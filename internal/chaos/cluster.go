@@ -10,7 +10,9 @@ import (
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/pbftlite"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
@@ -127,6 +129,7 @@ type cluster struct {
 	members   map[ids.ProcessID]*member
 	rec       *trace.Recorder
 	bus       *obs.Bus
+	spans     *tracer.Tracer
 }
 
 // newCluster builds the protocol's composition for every process and
@@ -134,7 +137,7 @@ type cluster struct {
 // a real (HMAC) ring: chaos mutates frames, and only unforgeable
 // signatures make "a corrupted signed message is dropped, not
 // attributed" hold the way the paper assumes.
-func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool, seed int64, filter sim.Filter) *cluster {
+func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool, seed int64, filter sim.Filter, reg *metrics.Registry) *cluster {
 	c := &cluster{
 		cfg:       cfg,
 		protocol:  protocol,
@@ -142,6 +145,7 @@ func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool,
 		skipSync:  skipSync,
 		members:   make(map[ids.ProcessID]*member, cfg.N),
 		bus:       obs.NewBus(0),
+		spans:     tracer.New(0),
 	}
 	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
 	for _, p := range cfg.All() {
@@ -153,12 +157,14 @@ func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool,
 	// assigned right after — by the time anything logs, it is set.
 	c.rec = trace.NewRecorder(func() time.Duration { return c.net.Now() }, logging.LevelDebug)
 	c.net = sim.NewNetwork(cfg, nodes, sim.Options{
+		Metrics: reg,
 		Seed:    seed,
 		Latency: sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond),
 		Filter:  filter,
 		Auth:    crypto.NewHMACRing(cfg, []byte("chaos-master")),
 		Logger:  c.rec,
 		Events:  c.bus,
+		Tracer:  c.spans,
 	})
 	return c
 }

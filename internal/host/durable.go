@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/storage"
 	"quorumselect/internal/wire"
@@ -107,6 +108,11 @@ func (h *Host) storageErr(op string, err error) error {
 	if errors.Is(err, storage.ErrCrashed) || errors.Is(err, storage.ErrClosed) {
 		return err
 	}
+	// Last act before the fail-stop: dump the flight recorder so the
+	// causal timeline leading into the persist failure survives the
+	// process.
+	tracer.WriteCrash(fmt.Sprintf("durable %s failed: %v", op, err),
+		h.env.Tracer(), h.env.Events())
 	panic(fmt.Sprintf("host: durable %s failed: %v — halting: continuing without durability would break persist-before-act (DESIGN.md §10)", op, err))
 }
 

@@ -43,7 +43,7 @@ func TestIngressBatchSizeFlushesSynchronously(t *testing.T) {
 	net, env := newEnv(t)
 	var got [][]*wire.Request
 	in := host.NewIngress(env, host.IngressOptions{BatchSize: 3, MaxLatency: time.Second},
-		func(reqs []*wire.Request) { got = append(got, reqs) })
+		func(reqs []*wire.Request, _ wire.TraceContext) { got = append(got, reqs) })
 
 	in.Submit(mkReq(1))
 	in.Submit(mkReq(2))
@@ -69,7 +69,7 @@ func TestIngressBatchSizeOneIsUnbatched(t *testing.T) {
 	_, env := newEnv(t)
 	var got [][]*wire.Request
 	in := host.NewIngress(env, host.IngressOptions{}, // BatchSize < 1 → 1
-		func(reqs []*wire.Request) { got = append(got, reqs) })
+		func(reqs []*wire.Request, _ wire.TraceContext) { got = append(got, reqs) })
 	for seq := uint64(1); seq <= 3; seq++ {
 		in.Submit(mkReq(seq))
 	}
@@ -87,7 +87,7 @@ func TestIngressMaxLatencyFlush(t *testing.T) {
 	net, env := newEnv(t)
 	var got [][]*wire.Request
 	in := host.NewIngress(env, host.IngressOptions{BatchSize: 8, MaxLatency: 10 * time.Millisecond},
-		func(reqs []*wire.Request) { got = append(got, reqs) })
+		func(reqs []*wire.Request, _ wire.TraceContext) { got = append(got, reqs) })
 
 	in.Submit(mkReq(1))
 	in.Submit(mkReq(2))
@@ -116,7 +116,7 @@ func TestIngressStopCancelsTimerAndDropsBuffer(t *testing.T) {
 	net, env := newEnv(t)
 	flushed := 0
 	in := host.NewIngress(env, host.IngressOptions{BatchSize: 8, MaxLatency: 10 * time.Millisecond},
-		func([]*wire.Request) { flushed++ })
+		func([]*wire.Request, wire.TraceContext) { flushed++ })
 
 	in.Submit(mkReq(1))
 	in.Stop()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -47,16 +48,19 @@ type IngressOptions struct {
 type Ingress struct {
 	env     runtime.Env
 	opts    IngressOptions
-	flush   func([]*wire.Request)
+	flush   func([]*wire.Request, wire.TraceContext)
 	buf     []*wire.Request
+	span    tracer.Active
+	adopted wire.TraceContext
 	timer   runtime.Timer
 	stopped bool
 }
 
 // NewIngress creates a mempool delivering batches to flush. The flush
 // callback runs on the node's event loop and owns the slice it is
-// given.
-func NewIngress(env runtime.Env, opts IngressOptions, flush func([]*wire.Request)) *Ingress {
+// given; the trace context identifies the ingress span covering the
+// batch's buffering time (zero when tracing is disabled).
+func NewIngress(env runtime.Env, opts IngressOptions, flush func([]*wire.Request, wire.TraceContext)) *Ingress {
 	if opts.BatchSize < 1 {
 		opts.BatchSize = 1
 	}
@@ -80,9 +84,25 @@ func (in *Ingress) Pending() int { return len(in.buf) }
 // a direct call into flush, matching the unbatched proposal path);
 // otherwise a max-latency flush timer is armed for the first request of
 // the batch. After Stop it buffers nothing and returns ErrStopped.
+// Adopt joins the next ingress span to an upstream trace — a leader
+// receiving a forwarded batch adopts the forwarder's context so the
+// whole commit path hangs off one tree. Only the first adoption before
+// a span opens takes effect (a merged batch keeps the first trace);
+// a zero context is ignored.
+func (in *Ingress) Adopt(tc wire.TraceContext) {
+	if tc.Zero() || in.span.Traced() || !in.adopted.Zero() {
+		return
+	}
+	in.adopted = tc
+}
+
 func (in *Ingress) Submit(req *wire.Request) error {
 	if in.stopped {
 		return ErrStopped
+	}
+	if len(in.buf) == 0 {
+		in.span = runtime.TraceStart(in.env, "ingress", in.adopted)
+		in.adopted = wire.TraceContext{}
 	}
 	in.buf = append(in.buf, req)
 	if len(in.buf) >= in.opts.BatchSize {
@@ -112,8 +132,11 @@ func (in *Ingress) Flush() {
 	}
 	batch := in.buf
 	in.buf = nil
+	span := in.span
+	in.span = tracer.Active{}
+	runtime.TraceEnd(in.env, span)
 	in.env.Metrics().Observe("host.ingress.batch_size", float64(len(batch)))
-	in.flush(batch)
+	in.flush(batch, span.Context())
 }
 
 // Stop implements Stoppable: it cancels the flush timer and drops
@@ -129,4 +152,5 @@ func (in *Ingress) Stop() {
 		in.timer = nil
 	}
 	in.buf = nil
+	in.span = tracer.Active{} // dropped, never recorded
 }

@@ -25,7 +25,7 @@ func TestIngressEdgeCases(t *testing.T) {
 				net, env := newEnv(t)
 				var flushes int
 				in := host.NewIngress(env, host.IngressOptions{BatchSize: 8, MaxLatency: 10 * time.Millisecond},
-					func([]*wire.Request) { flushes++ })
+					func([]*wire.Request, wire.TraceContext) { flushes++ })
 				if err := in.Submit(mkReq(1)); err != nil {
 					t.Fatalf("Submit: %v", err)
 				}
@@ -49,7 +49,7 @@ func TestIngressEdgeCases(t *testing.T) {
 				var in *host.Ingress
 				var flushes int
 				in = host.NewIngress(env, host.IngressOptions{BatchSize: 2, MaxLatency: time.Second},
-					func([]*wire.Request) {
+					func([]*wire.Request, wire.TraceContext) {
 						flushes++
 						in.Stop()
 						in.Flush() // re-entrant flush after stop: must be a no-op
@@ -70,7 +70,7 @@ func TestIngressEdgeCases(t *testing.T) {
 				net, env := newEnv(t)
 				var flushes int
 				in := host.NewIngress(env, host.IngressOptions{BatchSize: 4, MaxLatency: 5 * time.Millisecond},
-					func(reqs []*wire.Request) {
+					func(reqs []*wire.Request, _ wire.TraceContext) {
 						if len(reqs) == 0 {
 							t.Fatal("flushed a zero-length batch")
 						}
@@ -96,7 +96,7 @@ func TestIngressEdgeCases(t *testing.T) {
 				net, env := newEnv(t)
 				var flushes int
 				in := host.NewIngress(env, host.IngressOptions{BatchSize: 1},
-					func([]*wire.Request) { flushes++ })
+					func([]*wire.Request, wire.TraceContext) { flushes++ })
 				if err := in.Submit(mkReq(1)); err != nil {
 					t.Fatalf("Submit before Stop: %v", err)
 				}

@@ -33,6 +33,7 @@ import (
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 	"quorumselect/internal/xpaxos"
@@ -70,6 +71,10 @@ type slotState struct {
 	committed   bool
 	prepareSent bool
 	commitSent  bool
+	// trace spans the local three-phase round, pre-prepare acceptance
+	// to commit. PBFT frames carry no trace context (the baseline is
+	// message-accounting only), so the span is node-local.
+	trace tracer.Active
 }
 
 // Replica is one PBFT-style replica. It implements core.Application so
@@ -234,6 +239,11 @@ func (r *Replica) onPrePrepare(pp *wire.PrePrepare) {
 		return
 	}
 	st.prePrepare = pp
+	if !r.recovering {
+		st.trace = runtime.TraceStart(r.env, "pbft.commit", wire.TraceContext{})
+		st.trace.SetSlot(pp.Slot)
+		st.trace.SetView(pp.View)
+	}
 	digest := crypto.Digest(pp.SigBytes())
 	// Expect PREPARE votes from the other participants, then vote.
 	for _, k := range r.active.Members {
@@ -330,6 +340,8 @@ func (r *Replica) advance(slot uint64, st *slotState) {
 	}
 	if st.prepared && !st.committed && st.commitSent && len(st.commits) >= r.threshold() {
 		st.committed = true
+		runtime.TraceEnd(r.env, st.trace)
+		st.trace = tracer.Active{}
 		req := st.prePrepare.Req
 		r.committedReq[slot] = &req
 		// Persist before acting: the commit must survive a crash before

@@ -19,6 +19,7 @@ import (
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/wire"
 )
 
@@ -55,6 +56,10 @@ type Env interface {
 	// Events returns the protocol event bus (never nil; shared across
 	// processes in simulations, per-host on TCP).
 	Events() *obs.Bus
+	// Tracer returns the causal span recorder, or nil when tracing is
+	// disabled — a nil *tracer.Tracer is inert, so protocol code calls
+	// the Trace helpers unconditionally.
+	Tracer() *tracer.Tracer
 }
 
 // Node is a protocol instance: the simulator or transport calls Init
@@ -155,6 +160,24 @@ func (s Span) End() time.Duration {
 	d := s.env.Now() - s.start
 	s.env.Metrics().Observe(s.name, d.Seconds())
 	return d
+}
+
+// TraceStart opens a causal span on env's tracer, stamped with env's
+// clock. A zero parent starts a new trace; a context taken off an
+// incoming frame joins the sender's trace. With tracing disabled the
+// returned Active is inert.
+func TraceStart(env Env, name string, parent wire.TraceContext) tracer.Active {
+	return env.Tracer().Start(env.ID(), name, parent, env.Now())
+}
+
+// TraceEnd records a span opened with TraceStart at env's current
+// clock.
+func TraceEnd(env Env, a tracer.Active) { a.End(env.Now()) }
+
+// TraceInstant records a zero-duration span (a point event such as a
+// message arrival) parented on the given context.
+func TraceInstant(env Env, name string, parent wire.TraceContext) {
+	env.Tracer().Instant(env.ID(), name, parent, env.Now())
 }
 
 // SetNodeGauge sets the named gauge labeled with env's process

@@ -20,6 +20,7 @@ import (
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -106,6 +107,10 @@ type Options struct {
 	// process (the Event.Node field distinguishes them); nil allocates
 	// a fresh bus with obs.DefaultCapacity.
 	Events *obs.Bus
+	// Tracer receives causal spans from every simulated process,
+	// stamped with the shared virtual clock (the Span.Node field
+	// distinguishes them); nil disables tracing.
+	Tracer *tracer.Tracer
 	// AllowReorder disables the per-link FIFO clamp: messages on one
 	// link arrive in latency order rather than send order. The default
 	// (false) preserves the paper's reliable-FIFO channel model; chaos
@@ -199,6 +204,10 @@ func (n *Network) Metrics() *metrics.Registry { return n.metrics }
 
 // Events returns the run's protocol event bus.
 func (n *Network) Events() *obs.Bus { return n.events }
+
+// Tracer returns the run's span recorder (nil when tracing is
+// disabled).
+func (n *Network) Tracer() *tracer.Tracer { return n.opts.Tracer }
 
 // Env returns the environment of process p, letting tests and
 // experiments inject events as if they were local modules.
@@ -484,6 +493,7 @@ func (e *procEnv) Auth() crypto.Authenticator { return e.net.opts.Auth }
 func (e *procEnv) Logger() logging.Logger     { return e.log }
 func (e *procEnv) Metrics() *metrics.Registry { return e.net.metrics }
 func (e *procEnv) Events() *obs.Bus           { return e.net.events }
+func (e *procEnv) Tracer() *tracer.Tracer     { return e.net.opts.Tracer }
 
 func (e *procEnv) Send(to ids.ProcessID, m wire.Message) {
 	if !to.Valid(e.net.cfg.N) {

@@ -277,9 +277,10 @@ func (r *Replica) Submit(req *wire.Request) {
 }
 
 // flushGossip receives ingress batches: the requests enter the local
-// mempool and gossip to the other participants as one BATCH frame.
-func (r *Replica) flushGossip(reqs []*wire.Request) {
-	batch := &wire.Batch{}
+// mempool and gossip to the other participants as one BATCH frame
+// carrying the ingress span's trace context.
+func (r *Replica) flushGossip(reqs []*wire.Request, tc wire.TraceContext) {
+	batch := &wire.Batch{TC: tc}
 	for _, req := range reqs {
 		if r.addToMempool(req) {
 			batch.Reqs = append(batch.Reqs, *req)

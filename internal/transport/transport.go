@@ -32,6 +32,7 @@ import (
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	// Events receives typed protocol events (default: fresh bus with
 	// obs.DefaultCapacity).
 	Events *obs.Bus
+	// Tracer records causal commit-path spans (nil: tracing disabled).
+	// Spans are stamped against this host's monotonic clock (time since
+	// host start), so durations are per-host; trace structure (IDs,
+	// parents) is comparable across hosts.
+	Tracer *tracer.Tracer
 	// Seed drives the Env's randomness (default 1).
 	Seed int64
 }
@@ -157,6 +163,10 @@ func (h *Host) Metrics() *metrics.Registry { return h.cfg.Metrics }
 
 // Events returns the host's protocol event bus (for /events frontends).
 func (h *Host) Events() *obs.Bus { return h.cfg.Events }
+
+// Tracer returns the host's span recorder (nil when tracing is
+// disabled; for /trace frontends).
+func (h *Host) Tracer() *tracer.Tracer { return h.cfg.Tracer }
 
 // SetPeerAddr records or updates a peer's address.
 func (h *Host) SetPeerAddr(p ids.ProcessID, addr string) {
@@ -512,6 +522,7 @@ func (e *hostEnv) Auth() crypto.Authenticator { return e.h.cfg.Auth }
 func (e *hostEnv) Logger() logging.Logger     { return e.log }
 func (e *hostEnv) Metrics() *metrics.Registry { return e.h.cfg.Metrics }
 func (e *hostEnv) Events() *obs.Bus           { return e.h.cfg.Events }
+func (e *hostEnv) Tracer() *tracer.Tracer     { return e.h.cfg.Tracer }
 
 func (e *hostEnv) Send(to ids.ProcessID, m wire.Message) {
 	if !to.Valid(e.h.cfg.System.N) {

@@ -23,6 +23,12 @@ var (
 	_ Signed  = (*PBFTCommit)(nil)
 	_ Signed  = (*ChainForward)(nil)
 	_ Signed  = (*ChainAck)(nil)
+
+	_ TraceCarrier = (*Batch)(nil)
+	_ TraceCarrier = (*Prepare)(nil)
+	_ TraceCarrier = (*Commit)(nil)
+	_ TraceCarrier = (*ViewChange)(nil)
+	_ TraceCarrier = (*NewView)(nil)
 )
 
 // Heartbeat is the periodic liveness message every process sends (§II:
@@ -247,6 +253,9 @@ func (m *Request) Equal(o *Request) bool {
 // Request frames; receivers deduplicate per request.
 type Batch struct {
 	Reqs []Request
+	// TC is the sending host's ingress-span context, so a forwarded
+	// batch stays part of the trace its buffering started.
+	TC TraceContext
 }
 
 // Kind implements Message.
@@ -257,6 +266,7 @@ func (m *Batch) encodeBody(b *Buffer) {
 	for i := range m.Reqs {
 		m.Reqs[i].encodeBody(b)
 	}
+	b.PutTraceContext(m.TC)
 }
 
 func (m *Batch) decodeBody(r *Reader) error {
@@ -275,8 +285,15 @@ func (m *Batch) decodeBody(r *Reader) error {
 			}
 		}
 	}
-	return nil
+	m.TC, err = r.TraceContext()
+	return err
 }
+
+// TraceCtx implements TraceCarrier.
+func (m *Batch) TraceCtx() TraceContext { return m.TC }
+
+// SetTraceCtx implements TraceCarrier.
+func (m *Batch) SetTraceCtx(tc TraceContext) { m.TC = tc }
 
 // Prepare is XPaxos's PREPARE: the leader proposes a slot's worth of
 // client requests in a view (§V-A step 1). Req is the first request of
@@ -290,6 +307,11 @@ type Prepare struct {
 	Req    Request
 	Rest   []Request
 	Sig    []byte
+	// TC is the leader's propose-span context; followers parent their
+	// accept spans on it. Outside SigBytes (see TraceContext), though a
+	// Prepare embedded in a Commit or view-change log is covered whole
+	// by the outer signature.
+	TC TraceContext
 }
 
 // Kind implements Message.
@@ -298,6 +320,7 @@ func (*Prepare) Kind() Type { return TypePrepare }
 func (m *Prepare) encodeBody(b *Buffer) {
 	m.encodeSigned(b)
 	b.PutBytes(m.Sig)
+	b.PutTraceContext(m.TC)
 }
 
 func (m *Prepare) encodeSigned(b *Buffer) {
@@ -344,9 +367,18 @@ func (m *Prepare) decodeBody(r *Reader) error {
 			}
 		}
 	}
-	m.Sig, err = r.Bytes()
+	if m.Sig, err = r.Bytes(); err != nil {
+		return err
+	}
+	m.TC, err = r.TraceContext()
 	return err
 }
+
+// TraceCtx implements TraceCarrier.
+func (m *Prepare) TraceCtx() TraceContext { return m.TC }
+
+// SetTraceCtx implements TraceCarrier.
+func (m *Prepare) SetTraceCtx(tc TraceContext) { m.TC = tc }
 
 // Requests returns the slot's full batch in proposal order (Req
 // followed by Rest).
@@ -387,6 +419,9 @@ type Commit struct {
 	HasPrep bool
 	Prep    Prepare
 	Sig     []byte
+	// TC is the sending replica's accept-span context, letting the
+	// collector attribute commit arrivals to the remote accept.
+	TC TraceContext
 }
 
 // Kind implements Message.
@@ -395,6 +430,7 @@ func (*Commit) Kind() Type { return TypeCommit }
 func (m *Commit) encodeBody(b *Buffer) {
 	m.encodeSigned(b)
 	b.PutBytes(m.Sig)
+	b.PutTraceContext(m.TC)
 }
 
 func (m *Commit) encodeSigned(b *Buffer) {
@@ -430,9 +466,18 @@ func (m *Commit) decodeBody(r *Reader) error {
 			return err
 		}
 	}
-	m.Sig, err = r.Bytes()
+	if m.Sig, err = r.Bytes(); err != nil {
+		return err
+	}
+	m.TC, err = r.TraceContext()
 	return err
 }
+
+// TraceCtx implements TraceCarrier.
+func (m *Commit) TraceCtx() TraceContext { return m.TC }
+
+// SetTraceCtx implements TraceCarrier.
+func (m *Commit) SetTraceCtx(tc TraceContext) { m.TC = tc }
 
 // Signer implements Signed.
 func (m *Commit) Signer() ids.ProcessID { return m.Replica }
@@ -580,6 +625,9 @@ type ViewChange struct {
 	Snapshot       []byte
 	Log            []LogSlot
 	Sig            []byte
+	// TC is the sender's view-change-span context, so view-change
+	// traffic joins the causal timeline like the normal case does.
+	TC TraceContext
 }
 
 // Kind implements Message.
@@ -588,6 +636,7 @@ func (*ViewChange) Kind() Type { return TypeViewChange }
 func (m *ViewChange) encodeBody(b *Buffer) {
 	m.encodeSigned(b)
 	b.PutBytes(m.Sig)
+	b.PutTraceContext(m.TC)
 }
 
 func (m *ViewChange) encodeSigned(b *Buffer) {
@@ -640,9 +689,18 @@ func (m *ViewChange) decodeBody(r *Reader) error {
 			return err
 		}
 	}
-	m.Sig, err = r.Bytes()
+	if m.Sig, err = r.Bytes(); err != nil {
+		return err
+	}
+	m.TC, err = r.TraceContext()
 	return err
 }
+
+// TraceCtx implements TraceCarrier.
+func (m *ViewChange) TraceCtx() TraceContext { return m.TC }
+
+// SetTraceCtx implements TraceCarrier.
+func (m *ViewChange) SetTraceCtx(tc TraceContext) { m.TC = tc }
 
 // Signer implements Signed.
 func (m *ViewChange) Signer() ids.ProcessID { return m.Replica }
@@ -670,6 +728,9 @@ type NewView struct {
 	Snapshot       []byte
 	Log            []LogSlot
 	Sig            []byte
+	// TC is the incoming leader's view-change-span context; receivers
+	// anchor the installation on it.
+	TC TraceContext
 }
 
 // Kind implements Message.
@@ -678,6 +739,7 @@ func (*NewView) Kind() Type { return TypeNewView }
 func (m *NewView) encodeBody(b *Buffer) {
 	m.encodeSigned(b)
 	b.PutBytes(m.Sig)
+	b.PutTraceContext(m.TC)
 }
 
 func (m *NewView) encodeSigned(b *Buffer) {
@@ -726,9 +788,18 @@ func (m *NewView) decodeBody(r *Reader) error {
 			return err
 		}
 	}
-	m.Sig, err = r.Bytes()
+	if m.Sig, err = r.Bytes(); err != nil {
+		return err
+	}
+	m.TC, err = r.TraceContext()
 	return err
 }
+
+// TraceCtx implements TraceCarrier.
+func (m *NewView) TraceCtx() TraceContext { return m.TC }
+
+// SetTraceCtx implements TraceCarrier.
+func (m *NewView) SetTraceCtx(tc TraceContext) { m.TC = tc }
 
 // Signer implements Signed.
 func (m *NewView) Signer() ids.ProcessID { return m.Leader }

@@ -18,7 +18,7 @@ func MutateFrame(rng *rand.Rand, frame []byte) []byte {
 	if len(frame) == 0 {
 		return append(frame, byte(1+rng.Intn(255)))
 	}
-	switch rng.Intn(5) {
+	switch rng.Intn(6) {
 	case 0:
 		// Single bit flip anywhere, type tag included: the classic
 		// corrupted-field commission fault. XOR can never be identity.
@@ -40,6 +40,28 @@ func MutateFrame(rng *rand.Rand, frame []byte) []byte {
 			frame = append(frame, byte(rng.Intn(256)))
 		}
 		return frame
+	case 4:
+		// Trace-context scramble: rewrite the piggybacked context of a
+		// carrier frame. On a bare signed frame the context is outside
+		// SigBytes, so the mutant still verifies — the receiver must
+		// treat it as at worst a wrong trace, never a protocol input.
+		m, err := Decode(frame)
+		if err != nil {
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		c, ok := m.(TraceCarrier)
+		if !ok {
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		tc := c.TraceCtx()
+		// XOR with a non-zero delta so the context — and with it the
+		// re-encoded frame — always differs from the original.
+		tc.Trace ^= 1 + uint64(rng.Int63())
+		tc.Span ^= uint64(rng.Int63())
+		c.SetTraceCtx(tc)
+		return AppendEncode(frame[:0], m)
 	default:
 		// Signature corruption: re-encode the message with a flipped
 		// signature — a forgery attempt that must die at Verify.

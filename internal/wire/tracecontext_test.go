@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<40 | 7, 1<<63 - 1, ^uint64(0)}
+	for _, v := range vals {
+		var b Buffer
+		b.PutUvarint(v)
+		r := NewReader(b.Bytes())
+		got, err := r.Uvarint()
+		if err != nil {
+			t.Fatalf("Uvarint(%d): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Uvarint round trip: got %d, want %d", got, v)
+		}
+		if r.Remaining() != 0 {
+			t.Errorf("Uvarint(%d): %d bytes unread", v, r.Remaining())
+		}
+	}
+}
+
+func TestUvarintRejectsNonMinimal(t *testing.T) {
+	// 0x80 0x00 is a two-byte encoding of 0: legal LEB128, but not the
+	// minimal form, so the canonical codec must reject it.
+	cases := [][]byte{
+		{0x80, 0x00},
+		{0xff, 0x00},
+		{0x80, 0x80, 0x00},
+	}
+	for _, enc := range cases {
+		r := NewReader(enc)
+		if _, err := r.Uvarint(); err == nil {
+			t.Errorf("non-minimal uvarint % x accepted", enc)
+		}
+	}
+}
+
+func TestUvarintRejectsOverflowAndTruncation(t *testing.T) {
+	// Eleven continuation bytes overflow uint64.
+	over := bytes.Repeat([]byte{0x80}, 10)
+	over = append(over, 0x02)
+	if _, err := NewReader(over).Uvarint(); err == nil {
+		t.Error("overflowing uvarint accepted")
+	}
+	if _, err := NewReader(nil).Uvarint(); err == nil {
+		t.Error("empty uvarint accepted")
+	}
+	if _, err := NewReader([]byte{0x80}).Uvarint(); err == nil {
+		t.Error("truncated uvarint accepted")
+	}
+}
+
+func TestTraceContextOutsideSignature(t *testing.T) {
+	// Restamping the context on a bare signed frame must not disturb
+	// the signed bytes or the signature — tracing never forces
+	// re-signing, and a context mutation can never invalidate a frame.
+	for _, m := range sampleMessages() {
+		c, ok := m.(TraceCarrier)
+		if !ok {
+			continue
+		}
+		s, signed := m.(Signed)
+		var sigBefore, coveredBefore []byte
+		if signed {
+			coveredBefore = append([]byte(nil), s.SigBytes()...)
+			sigBefore = append([]byte(nil), s.Signature()...)
+		}
+		before := Encode(m)
+		c.SetTraceCtx(TraceContext{Trace: 0xfeed, Span: 0xbeef})
+		after := Encode(m)
+		if bytes.Equal(before, after) && c.TraceCtx() != (TraceContext{Trace: 0xfeed, Span: 0xbeef}) {
+			t.Errorf("%s: SetTraceCtx did not change the frame", m.Kind())
+		}
+		if signed {
+			if !bytes.Equal(coveredBefore, s.SigBytes()) {
+				t.Errorf("%s: trace context leaks into SigBytes", m.Kind())
+			}
+			if !bytes.Equal(sigBefore, s.Signature()) {
+				t.Errorf("%s: trace context altered the signature", m.Kind())
+			}
+		}
+		got, err := Decode(after)
+		if err != nil {
+			t.Fatalf("%s: restamped frame does not decode: %v", m.Kind(), err)
+		}
+		if got.(TraceCarrier).TraceCtx() != (TraceContext{Trace: 0xfeed, Span: 0xbeef}) {
+			t.Errorf("%s: context did not round trip", m.Kind())
+		}
+	}
+}
+
+func TestTraceContextZero(t *testing.T) {
+	if !(TraceContext{}).Zero() {
+		t.Error("zero value not Zero()")
+	}
+	if (TraceContext{Trace: 1}).Zero() || (TraceContext{Span: 1}).Zero() {
+		t.Error("non-zero context reported Zero()")
+	}
+	// Untraced frames cost exactly two context bytes.
+	var b Buffer
+	b.PutTraceContext(TraceContext{})
+	if len(b.Bytes()) != 2 {
+		t.Errorf("zero context encodes to %d bytes, want 2", len(b.Bytes()))
+	}
+}
+
+func TestPutUvarintMatchesBinary(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 21, ^uint64(0)} {
+		var b Buffer
+		b.PutUvarint(v)
+		want := binary.AppendUvarint(nil, v)
+		if !bytes.Equal(b.Bytes(), want) {
+			t.Errorf("PutUvarint(%d) = % x, want % x", v, b.Bytes(), want)
+		}
+	}
+}

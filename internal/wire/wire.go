@@ -135,6 +135,38 @@ type Signed interface {
 // ErrTruncated is returned when a decode runs out of bytes.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// TraceContext is the compact causal-tracing context piggybacked on
+// protocol frames: the trace the frame belongs to and the span on the
+// sending process that caused it. The zero value means "untraced".
+//
+// Trace bytes ride outside every message's signature coverage
+// (appended after the Sig field), so no protocol decision may ever
+// depend on them: a mutated or stripped context degrades tracing, never
+// correctness, and re-signing is not needed to restamp a context. The
+// exception is unavoidable by construction: a Prepare embedded whole
+// inside another signed message (Commit, view-change logs) contributes
+// its context bytes to the *outer* signature like any other embedded
+// field.
+type TraceContext struct {
+	Trace uint64 // trace identifier (the root span's ID); 0 = untraced
+	Span  uint64 // parent span on the sending process
+}
+
+// Zero reports whether the context is the untraced zero value.
+func (tc TraceContext) Zero() bool { return tc.Trace == 0 && tc.Span == 0 }
+
+// TraceCarrier is implemented by messages that piggyback a
+// TraceContext.
+type TraceCarrier interface {
+	Message
+	// TraceCtx returns the piggybacked context.
+	TraceCtx() TraceContext
+	// SetTraceCtx replaces the piggybacked context. For bare signed
+	// frames this never invalidates the signature (the context is
+	// outside SigBytes).
+	SetTraceCtx(tc TraceContext)
+}
+
 // ErrUnknownType is returned when a decode meets an unknown type tag.
 var ErrUnknownType = errors.New("wire: unknown message type")
 
@@ -311,6 +343,20 @@ func (b *Buffer) PutUint64s(vs []uint64) {
 	}
 }
 
+// PutUvarint appends an unsigned varint (LEB128, as produced by
+// encoding/binary). The encoding is minimal by construction, matching
+// the Reader's canonicity requirement.
+func (b *Buffer) PutUvarint(v uint64) {
+	b.buf = binary.AppendUvarint(b.buf, v)
+}
+
+// PutTraceContext appends a trace context as two uvarints. The common
+// untraced case costs two bytes.
+func (b *Buffer) PutTraceContext(tc TraceContext) {
+	b.PutUvarint(tc.Trace)
+	b.PutUvarint(tc.Span)
+}
+
 // Reader decodes canonical bytes with bounds checking.
 type Reader struct {
 	buf []byte
@@ -429,6 +475,36 @@ func (r *Reader) Procs() ([]ids.ProcessID, error) {
 		}
 	}
 	return out, nil
+}
+
+// Uvarint reads an unsigned varint, rejecting non-minimal encodings
+// (a final continuation group of zero, e.g. 0x80 0x00 for 0) and
+// 64-bit overflow: accepting either would let one value arrive in more
+// than one byte form, breaking the codec's canonicity invariant.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n == 0 {
+		return 0, ErrTruncated
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("wire: uvarint overflows 64 bits")
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("wire: non-minimal uvarint encoding")
+	}
+	r.off += n
+	return v, nil
+}
+
+// TraceContext reads a trace context (two uvarints).
+func (r *Reader) TraceContext() (TraceContext, error) {
+	var tc TraceContext
+	var err error
+	if tc.Trace, err = r.Uvarint(); err != nil {
+		return tc, err
+	}
+	tc.Span, err = r.Uvarint()
+	return tc, err
 }
 
 // Uint64s reads a length-prefixed slice of uint64.

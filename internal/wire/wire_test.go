@@ -20,6 +20,8 @@ func sampleMessages() []Message {
 			{Client: 7, Seq: 43, Op: []byte("set y=2")},
 			{Client: 8, Seq: 1, Op: []byte("get y")},
 		}},
+		&Batch{Reqs: []Request{{Client: 7, Seq: 45, Op: []byte("set w=4")}},
+			TC: TraceContext{Trace: 1<<40 | 7, Span: 1<<40 | 9}},
 		&Update{Owner: 3, Row: []uint64{0, 2, 0, 1, 5}, Sig: []byte{9, 8}},
 		&Followers{
 			Leader:    2,
@@ -35,8 +37,12 @@ func sampleMessages() []Message {
 				{Client: 7, Seq: 44, Op: []byte("set z=3")},
 				{Client: 9, Seq: 2, Op: []byte("del z")},
 			}},
+		&Prepare{Leader: 1, View: 3, Slot: 11, Req: req, Sig: []byte{1, 2, 3},
+			TC: TraceContext{Trace: 2 << 40, Span: 2<<40 | 3}},
 		&Commit{Replica: 4, View: 3, Slot: 9, HasPrep: true, Prep: prep, Sig: []byte{5}},
 		&Commit{Replica: 4, View: 3, Slot: 9, HasPrep: false, Sig: []byte{5}},
+		&Commit{Replica: 4, View: 3, Slot: 9, HasPrep: true, Prep: prep, Sig: []byte{5},
+			TC: TraceContext{Trace: 4<<40 | 1, Span: 4<<40 | 2}},
 		&Reply{Replica: 2, Client: 7, Seq: 42, Result: []byte("ok"), Sig: []byte{1}},
 		&ViewChange{
 			Replica:        5,
@@ -47,8 +53,24 @@ func sampleMessages() []Message {
 			Log:            []LogSlot{{Slot: 9, Prep: prep}},
 			Sig:            []byte{2},
 		},
+		&ViewChange{
+			Replica:        6,
+			NewViewNum:     9,
+			CheckpointSlot: 4,
+			CheckpointDig:  []byte{0xcd},
+			Snapshot:       []byte("snapshot-bytes"),
+			// The logged prepare keeps its own context; the outer frame
+			// carries the view-change span's.
+			Log: []LogSlot{{Slot: 9, Prep: Prepare{Leader: 1, View: 3, Slot: 9, Req: req,
+				Sig: []byte{1, 2, 3}, TC: TraceContext{Trace: 1 << 40, Span: 1<<40 | 4}}}},
+			Sig: []byte{2},
+			TC:  TraceContext{Trace: 6 << 40, Span: 6<<40 | 1},
+		},
 		&NewView{Leader: 1, ViewNum: 8, CheckpointSlot: 4, Snapshot: []byte("snap"),
 			Log: []LogSlot{{Slot: 9, Prep: prep}}, Sig: []byte{3}},
+		&NewView{Leader: 1, ViewNum: 9, CheckpointSlot: 4, Snapshot: []byte("snap"),
+			Log: []LogSlot{{Slot: 9, Prep: prep}}, Sig: []byte{3},
+			TC: TraceContext{Trace: 1<<40 | 8, Span: 1<<40 | 8}},
 		&PrePrepare{Leader: 1, View: 0, Slot: 1, Req: req, Sig: []byte{4}},
 		&PBFTPrepare{phaseBody{Replica: 2, View: 0, Slot: 1, Digest: []byte{0xd}, Sig: []byte{6}}},
 		&PBFTCommit{phaseBody{Replica: 3, View: 0, Slot: 1, Digest: []byte{0xd}, Sig: []byte{7}}},

@@ -41,7 +41,13 @@ func newBatchClusterOpts(tb testing.TB, n, f int, xopts xpaxos.Options, nodeOpts
 }
 
 func (c *batchCluster) submitAll(total int) {
-	for i := 1; i <= total; i++ {
+	c.submitRange(1, total)
+}
+
+// submitRange submits requests from..to (inclusive, 1-based) of the
+// standard workload, so callers can feed the cluster incrementally.
+func (c *batchCluster) submitRange(from, to int) {
+	for i := from; i <= to; i++ {
 		c.replicas[1].Submit(req(uint64(1+i%3), uint64(1+(i-1)/3), fmt.Sprintf("set k%d v%d", i, i)))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -65,6 +66,15 @@ type checkpoint struct {
 	Slot     uint64
 	Snapshot []byte
 	Digest   []byte
+}
+
+// slotTrace is the per-slot tracing state of the commit path: the
+// context of this replica's propose/accept span (carried on its
+// outgoing COMMIT so peers can parent arrival instants on it) and the
+// open quorum-wait span that closes when the slot commits.
+type slotTrace struct {
+	prep   wire.TraceContext
+	quorum tracer.Active
 }
 
 // entry is the per-slot round state of the current view.
@@ -126,6 +136,11 @@ type Replica struct {
 	// slotStart records when each slot's prepare was first accepted
 	// locally, feeding the commit-latency histogram.
 	slotStart map[uint64]time.Duration
+	// traces holds the open per-slot commit-path spans (see slotTrace);
+	// dropped wholesale on a view change, trimmed with the checkpoint.
+	traces map[uint64]*slotTrace
+	// vcTrace is the span covering an in-progress view change.
+	vcTrace tracer.Active
 	// vcStart records when the in-progress view change began, feeding
 	// the view-change-duration histogram.
 	vcStart time.Duration
@@ -147,6 +162,7 @@ func NewReplica(opts Options) *Replica {
 		clientTable:  make(map[uint64]uint64),
 		vcVotes:      make(map[uint64]map[ids.ProcessID]*wire.ViewChange),
 		slotStart:    make(map[uint64]time.Duration),
+		traces:       make(map[uint64]*slotTrace),
 	}
 }
 
@@ -224,12 +240,31 @@ func (r *Replica) Submit(req *wire.Request) {
 	}
 }
 
+// traceStart opens a commit-path span unless the replica is replaying
+// its WAL: recovered history already happened and is not re-traced.
+func (r *Replica) traceStart(name string, parent wire.TraceContext) tracer.Active {
+	if r.recovering {
+		return tracer.Active{}
+	}
+	return runtime.TraceStart(r.env, name, parent)
+}
+
+func (r *Replica) slotTraceFor(slot uint64) *slotTrace {
+	st, ok := r.traces[slot]
+	if !ok {
+		st = &slotTrace{}
+		r.traces[slot] = st
+	}
+	return st
+}
+
 // flushBatch receives ingress batches. The role check happens at flush
 // time, not submit time: leadership may have changed while the batch
-// filled.
-func (r *Replica) flushBatch(reqs []*wire.Request) {
+// filled. tc is the ingress span covering the batch's buffering time;
+// it parents the propose span (here, or on the leader after a forward).
+func (r *Replica) flushBatch(reqs []*wire.Request, tc wire.TraceContext) {
 	if !r.IsLeader() {
-		batch := &wire.Batch{Reqs: make([]wire.Request, len(reqs))}
+		batch := &wire.Batch{Reqs: make([]wire.Request, len(reqs)), TC: tc}
 		for i, req := range reqs {
 			batch.Reqs[i] = *req
 		}
@@ -237,18 +272,23 @@ func (r *Replica) flushBatch(reqs []*wire.Request) {
 		return
 	}
 	if r.changing {
+		// Requests survive the view change; their ingress trace does not
+		// (they re-enter ingress when the new view installs).
 		r.pending = append(r.pending, reqs...)
 		return
 	}
-	r.propose(reqs)
+	r.propose(reqs, tc)
 }
 
 // propose assigns the next slot to the batch and runs step 1 of the
 // normal case; the batch rides in the PREPARE (Req + Rest), covered by
 // the leader's signature.
-func (r *Replica) propose(reqs []*wire.Request) {
+func (r *Replica) propose(reqs []*wire.Request, tc wire.TraceContext) {
 	slot := r.nextSlot
 	r.nextSlot++
+	stage := r.traceStart("propose", tc)
+	stage.SetSlot(slot)
+	stage.SetView(r.view)
 	prep := &wire.Prepare{
 		Leader: r.env.ID(),
 		View:   r.view,
@@ -262,6 +302,7 @@ func (r *Replica) propose(reqs []*wire.Request) {
 		}
 	}
 	runtime.Sign(r.env, prep)
+	prep.TC = stage.Context() // outside signature coverage
 	r.env.Metrics().Inc("xpaxos.prepare.sent", 1)
 	for _, p := range r.active.Members {
 		if p != r.env.ID() {
@@ -271,7 +312,7 @@ func (r *Replica) propose(reqs []*wire.Request) {
 	// The leader "receives" its own PREPARE: accept it, issue the
 	// commit expectations, and send its COMMIT (§V-A: expectations are
 	// issued when receiving or *sending* a PREPARE).
-	r.acceptPrepare(prep)
+	r.acceptPrepare(prep, stage)
 }
 
 // Deliver implements core.Application: demultiplex authenticated
@@ -286,8 +327,10 @@ func (r *Replica) Deliver(from ids.ProcessID, m wire.Message) {
 	case *wire.Batch:
 		// Forwarded ingress batch; only the leader proposes. Requests
 		// re-enter this replica's ingress, so forwarded traffic batches
-		// on the leader's own policy.
+		// on the leader's own policy; the forwarder's trace is adopted
+		// so the commit path hangs off the originating replica's tree.
 		if r.IsLeader() {
+			r.ingress.Adopt(msg.TC)
 			for i := range msg.Reqs {
 				req := msg.Reqs[i]
 				r.Submit(&req)
@@ -344,12 +387,17 @@ func (r *Replica) onPrepare(p *wire.Prepare) {
 		e.adopted = false // direct prepare received; expectation matched
 		return
 	}
-	r.acceptPrepare(p)
+	stage := r.traceStart("accept", p.TC)
+	stage.SetSlot(p.Slot)
+	stage.SetView(p.View)
+	r.acceptPrepare(p, stage)
 }
 
 // acceptPrepare stores the prepare, issues the §V-A expectations and
-// sends this replica's COMMIT.
-func (r *Replica) acceptPrepare(p *wire.Prepare) {
+// sends this replica's COMMIT. stage is the open propose (leader) or
+// accept (follower) span covering this slot's local processing; it
+// closes once the COMMIT is out and the quorum wait begins.
+func (r *Replica) acceptPrepare(p *wire.Prepare, stage tracer.Active) {
 	e := r.entry(p.Slot)
 	if _, ok := r.slotStart[p.Slot]; !ok {
 		r.slotStart[p.Slot] = r.env.Now()
@@ -357,10 +405,17 @@ func (r *Replica) acceptPrepare(p *wire.Prepare) {
 	e.prep = p
 	e.adopted = false
 	r.accepted[p.Slot] = p
+	st := r.slotTraceFor(p.Slot)
+	st.prep = stage.Context()
 	// Persist-before-act: the COMMIT below promises this prepare is in
 	// our log, so it must be on disk before the COMMIT leaves.
+	var ws tracer.Active
+	if r.wal != nil {
+		ws = r.traceStart("wal.sync", stage.Context())
+	}
 	r.persistRecord(recPrepareBytes(recAccepted, p))
 	r.persistSync()
+	runtime.TraceEnd(r.env, ws)
 	// First subtlety (§V-A): no expectation for processes whose COMMIT
 	// already arrived.
 	for _, k := range r.active.Members {
@@ -370,6 +425,10 @@ func (r *Replica) acceptPrepare(p *wire.Prepare) {
 		r.expectCommit(k, p.View, p.Slot)
 	}
 	r.sendCommit(e, p)
+	runtime.TraceEnd(r.env, stage)
+	st.quorum = r.traceStart("quorum", stage.Context())
+	st.quorum.SetSlot(p.Slot)
+	st.quorum.SetView(p.View)
 	r.tryCommit(p.Slot, e)
 }
 
@@ -405,6 +464,9 @@ func (r *Replica) sendCommit(e *entry, p *wire.Prepare) {
 		Prep:    *p,
 	}
 	runtime.Sign(r.env, c)
+	if st, ok := r.traces[p.Slot]; ok {
+		c.TC = st.prep // receivers parent their arrival instant on our span
+	}
 	e.commits[r.env.ID()] = c
 	r.env.Metrics().Inc("xpaxos.commit.sent", 1)
 	for _, k := range r.active.Members {
@@ -436,6 +498,9 @@ func (r *Replica) onCommit(c *wire.Commit) {
 		r.detector.Detected(c.Replica)
 		return
 	}
+	if !c.TC.Zero() && !r.recovering {
+		runtime.TraceInstant(r.env, "commit.recv", c.TC)
+	}
 	e := r.entry(c.Slot)
 	if e.prep != nil {
 		// Equivocation: a valid PREPARE that differs from ours.
@@ -447,17 +512,32 @@ func (r *Replica) onCommit(c *wire.Commit) {
 	} else {
 		// Third subtlety (Fig 3): COMMIT before PREPARE — adopt the
 		// embedded prepare, send our own COMMIT, and expect the direct
-		// PREPARE from the leader.
+		// PREPARE from the leader. The embedded prepare kept its trace
+		// context, so the accept span still joins the leader's trace.
 		prep := c.Prep
 		e.prep = &prep
 		e.adopted = true
 		r.accepted[c.Slot] = &prep
+		stage := r.traceStart("accept", prep.TC)
+		stage.SetSlot(c.Slot)
+		stage.SetView(c.View)
+		st := r.slotTraceFor(c.Slot)
+		st.prep = stage.Context()
 		// Adopted prepares carry the same promise as direct ones:
 		// persist before our COMMIT goes out.
+		var ws tracer.Active
+		if r.wal != nil {
+			ws = r.traceStart("wal.sync", stage.Context())
+		}
 		r.persistRecord(recPrepareBytes(recAccepted, &prep))
 		r.persistSync()
+		runtime.TraceEnd(r.env, ws)
 		r.expectPrepare(r.Leader(), c.View, c.Slot)
 		r.sendCommit(e, &prep)
+		runtime.TraceEnd(r.env, stage)
+		st.quorum = r.traceStart("quorum", stage.Context())
+		st.quorum.SetSlot(c.Slot)
+		st.quorum.SetView(c.View)
 	}
 	e.commits[c.Replica] = c
 	r.tryCommit(c.Slot, e)
@@ -475,12 +555,21 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 		}
 	}
 	e.committed = true
+	st := r.traces[slot]
+	if st != nil {
+		runtime.TraceEnd(r.env, st.quorum)
+	}
 	reqs := e.prep.Requests()
 	r.committedReq[slot] = reqs
 	// The slot is decided: persist the deciding prepare before
 	// executing it or shipping the certificate to passive replicas.
+	var ws tracer.Active
+	if st != nil && st.quorum.Traced() && r.wal != nil {
+		ws = r.traceStart("wal.sync", st.quorum.Context())
+	}
 	r.persistRecord(recPrepareBytes(recCommitted, e.prep))
 	r.persistSync()
+	runtime.TraceEnd(r.env, ws)
 	r.env.Metrics().Inc("xpaxos.committed", int64(len(reqs)))
 	if start, ok := r.slotStart[slot]; ok {
 		r.env.Metrics().Observe("xpaxos.commit.latency.seconds",
@@ -539,6 +628,11 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 		return
 	}
 	r.committedReq[cert.Slot] = prep.Requests()
+	if !prep.TC.Zero() && !r.recovering {
+		// Lazily replicated slots still join the original trace: the
+		// embedded prepare's context parents this replica's execute span.
+		r.slotTraceFor(cert.Slot).prep = prep.TC
+	}
 	if cur, ok := r.accepted[cert.Slot]; !ok || prep.View >= cur.View {
 		r.accepted[cert.Slot] = prep
 	}
@@ -557,6 +651,15 @@ func (r *Replica) execute() {
 			return
 		}
 		r.lastExec++
+		var es tracer.Active
+		if st := r.traces[r.lastExec]; st != nil {
+			parent := st.quorum.Context()
+			if parent.Zero() {
+				parent = st.prep // lazy replication: no quorum span
+			}
+			es = r.traceStart("execute", parent)
+			es.SetSlot(r.lastExec)
+		}
 		for _, req := range reqs {
 			result := r.opts.SM.Apply(req.Op)
 			if req.Seq > r.clientTable[req.Client] {
@@ -575,6 +678,8 @@ func (r *Replica) execute() {
 				r.opts.OnExecute(exec)
 			}
 		}
+		runtime.TraceEnd(r.env, es)
+		delete(r.traces, r.lastExec)
 		runtime.SetNodeGauge(r.env, "xpaxos.checkpoint.lag", float64(r.lastExec-r.ckpt.Slot))
 		if r.opts.CheckpointInterval > 0 && !r.recovering && r.lastExec%r.opts.CheckpointInterval == 0 {
 			r.takeCheckpoint()
@@ -679,6 +784,11 @@ func (r *Replica) gcBelow(slot uint64) {
 	for s := range r.slotStart {
 		if s <= slot {
 			delete(r.slotStart, s)
+		}
+	}
+	for s := range r.traces {
+		if s <= slot {
+			delete(r.traces, s)
 		}
 	}
 }

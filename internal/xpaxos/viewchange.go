@@ -7,6 +7,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -66,10 +67,14 @@ func (r *Replica) startViewChange(v uint64) {
 		return
 	}
 	// A view change in progress that jumps to a higher view keeps its
-	// original start: the duration covers the whole outage.
+	// original start: the duration covers the whole outage. The span
+	// follows the same rule: one span per outage, tagged with the view
+	// finally installed.
 	if !r.changing {
 		r.vcStart = r.env.Now()
+		r.vcTrace = r.traceStart("viewchange", wire.TraceContext{})
 	}
+	r.vcTrace.SetView(v)
 	r.view = v
 	r.active = r.quorumAt(v)
 	r.changing = true
@@ -81,9 +86,12 @@ func (r *Replica) startViewChange(v uint64) {
 	r.log.Logf(logging.LevelDebug, "xpaxos: view change to %d, quorum %s", v, r.active)
 	r.detector.CancelScope(Scope)
 	// Reset per-view round state; the accepted log survives. Messages
-	// buffered for an older in-progress view are obsolete.
+	// buffered for an older in-progress view are obsolete. Open
+	// commit-path spans die with the view (never recorded); surviving
+	// slots re-trace when the new leader re-proposes them.
 	r.entries = make(map[uint64]*entry)
 	r.buffered = nil
+	r.traces = make(map[uint64]*slotTrace)
 	// Persist-before-act: the adopted view must be on disk before the
 	// VIEW-CHANGE announces it — a replica that crashes after sending
 	// must not recover into the abandoned view and accept prepares
@@ -100,6 +108,7 @@ func (r *Replica) startViewChange(v uint64) {
 		Log:            r.acceptedLog(),
 	}
 	runtime.Sign(r.env, vc)
+	vc.TC = r.vcTrace.Context()
 	r.env.Metrics().Inc("xpaxos.viewchange.sent", 1)
 	newLeader := r.active.Members[0]
 	for _, p := range r.active.Members {
@@ -210,6 +219,7 @@ func (r *Replica) installView(v uint64, votes map[ids.ProcessID]*wire.ViewChange
 		Log:            log,
 	}
 	runtime.Sign(r.env, nv)
+	nv.TC = r.vcTrace.Context()
 	r.env.Metrics().Inc("xpaxos.newview.sent", 1)
 	for _, p := range r.active.Members {
 		if p != r.env.ID() {
@@ -258,6 +268,9 @@ func (r *Replica) onNewView(nv *wire.NewView) {
 		r.detector.Detected(nv.Leader)
 		return
 	}
+	if !nv.TC.Zero() && !r.recovering {
+		runtime.TraceInstant(r.env, "newview.recv", nv.TC)
+	}
 	r.applyNewView(nv)
 }
 
@@ -271,6 +284,8 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 	r.changing = false
 	r.env.Metrics().Observe("xpaxos.viewchange.duration.seconds",
 		(r.env.Now() - r.vcStart).Seconds())
+	runtime.TraceEnd(r.env, r.vcTrace)
+	r.vcTrace = tracer.Active{}
 	runtime.Emit(r.env, obs.Event{Type: obs.TypeViewChangeEnd, View: nv.ViewNum,
 		Detail: r.active.String()})
 	// Catch up from the stable checkpoint if it is ahead of local
@@ -324,6 +339,12 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 		// to execute in order. Replicas that already executed a slot
 		// re-commit it but skip re-execution.
 		for _, ls := range nv.Log {
+			// The re-proposal joins the slot's original trace when the
+			// merged prepare still carries one: the span tree then shows
+			// the request crossing the view change.
+			stage := r.traceStart("propose", ls.Prep.TC)
+			stage.SetSlot(ls.Slot)
+			stage.SetView(r.view)
 			req := ls.Prep.Req
 			prep := &wire.Prepare{
 				Leader: r.env.ID(),
@@ -332,16 +353,17 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 				Req:    req,
 				// The whole batch re-proposes with its slot; dropping
 				// Rest would silently un-commit the tail requests.
-				Rest:   append([]wire.Request(nil), ls.Prep.Rest...),
+				Rest: append([]wire.Request(nil), ls.Prep.Rest...),
 			}
 			runtime.Sign(r.env, prep)
+			prep.TC = stage.Context()
 			r.env.Metrics().Inc("xpaxos.prepare.sent", 1)
 			for _, p := range r.active.Members {
 				if p != r.env.ID() {
 					r.env.Send(p, prep)
 				}
 			}
-			r.acceptPrepare(prep)
+			r.acceptPrepare(prep, stage)
 		}
 		// Drain requests queued during the change.
 		pending := r.pending

@@ -11,6 +11,7 @@ import (
 	"quorumselect/internal/logging"
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
 	"quorumselect/internal/storage"
@@ -92,6 +93,15 @@ type (
 	Event = obs.Event
 	// EventType classifies protocol events.
 	EventType = obs.Type
+	// Tracer is the causal commit-path span recorder (see
+	// internal/obs/tracer); wire one into HostConfig.Tracer (TCP) or
+	// SimOptions.Tracer to trace the commit path.
+	Tracer = tracer.Tracer
+	// TraceSpan is one recorded commit-path stage.
+	TraceSpan = tracer.Span
+	// TraceDump is a flight-recorder snapshot: spans plus protocol
+	// events, serializable as JSON or Chrome trace-event format.
+	TraceDump = tracer.Dump
 	// StorageBackend is the durable-storage interface a composed node
 	// persists through (see NodeOptions.Storage).
 	StorageBackend = storage.Backend
@@ -106,6 +116,16 @@ type (
 // NewEventBus returns an event bus retaining up to capacity events
 // (capacity <= 0 selects the default, obs.DefaultCapacity).
 func NewEventBus(capacity int) *EventBus { return obs.NewBus(capacity) }
+
+// NewTracer returns a span recorder retaining the last capacity spans
+// (capacity <= 0 selects the default, tracer.DefaultCapacity).
+func NewTracer(capacity int) *Tracer { return tracer.New(capacity) }
+
+// CaptureTrace snapshots a tracer and event bus (either may be nil)
+// into a flight-recorder dump.
+func CaptureTrace(reason string, t *Tracer, bus *EventBus) TraceDump {
+	return tracer.Capture(reason, t, bus)
+}
 
 // NewConfig validates and returns a system configuration; it enforces
 // the paper's n − f > f assumption.
