@@ -31,11 +31,24 @@ check:
 	$(GO) test -race ./...
 
 # bench runs every benchmark with allocation stats and writes the
-# machine-readable report BENCH_PR6.json (see cmd/benchjson), including
-# the tracing-overhead ratio and the commit-path stage breakdown.
+# machine-readable report BENCH_PR7.json (see cmd/benchjson), including
+# the pipelined window sweep, the verify amortizations, the
+# tracing-overhead ratio, and the commit-path stage breakdown.
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+# bench-smoke is the CI regression gate: a brief window sweep + cert
+# verification pass that fails if the pipeline has degraded to lockstep
+# (req/s at window 16 below window 1) or batch verification has lost
+# its per-signature amortization.
+bench-smoke:
+	set -o pipefail; $(GO) test -run '^$$' \
+		-bench 'BenchmarkXPaxosPipelinedThroughput|BenchmarkQuorumCertVerify' \
+		-benchtime $(BENCHTIME) -count 1 ./internal/transport/ ./internal/crypto/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_SMOKE.json \
+			-require 'xpaxos.pipeline.throughput_x.16>=1.0' \
+			-require 'crypto.verify.cert_batch_speedup_x>=1.0'
 
 # chaos sweeps CHAOS_SEEDS seeds of the scenario fuzzer per protocol
 # and fails on the first invariant violation, printing the violating

@@ -267,33 +267,85 @@ func BenchmarkWireCodec(b *testing.B) {
 }
 
 func BenchmarkAuthenticators(b *testing.B) {
-	cfg := ids.MustConfig(4, 1)
+	cfg := ids.MustConfig(7, 2)
 	data := []byte("canonical message bytes for signing benchmarks")
 	ed, err := crypto.NewEd25519Ring(cfg, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	hm := crypto.NewHMACRing(cfg, []byte("secret"))
-	for name, ring := range map[string]crypto.Authenticator{"ed25519": ed, "hmac": hm} {
+	rings := []struct {
+		name string
+		ring crypto.Authenticator
+	}{
+		{"ed25519", ed},
+		{"hmac", crypto.NewHMACRing(cfg, []byte("secret"))},
+		{"nop", crypto.NopRing{}},
+	}
+	for _, rc := range rings {
+		ring := rc.ring
 		sig, err := ring.Sign(1, data)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(name+"/sign", func(b *testing.B) {
+		b.Run(rc.name+"/sign", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := ring.Sign(1, data); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		b.Run(name+"/verify", func(b *testing.B) {
+		b.Run(rc.name+"/verify", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := ring.Verify(1, data, sig); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/verify")
+		})
+		// Batched verification of a commit-certificate-shaped workload:
+		// q distinct COMMIT signatures plus q copies of one embedded
+		// PREPARE signature. The batched pass dedups the copies, so its
+		// per-item ns/verify amortizes against the serial loop above.
+		b.Run(rc.name+"/verify-batched", func(b *testing.B) {
+			pool := crypto.NewPool(ring, 0)
+			defer pool.Close()
+			items := certBatch(b, cfg, ring)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, err := range pool.VerifyBatch(items) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(items)), "ns/verify")
 		})
 	}
+}
+
+// certBatch builds the batch of one quorum commit certificate: a
+// distinct COMMIT signature per quorum member, each paired with a copy
+// of the same embedded PREPARE signature.
+func certBatch(b *testing.B, cfg ids.Config, ring crypto.Authenticator) []crypto.BatchItem {
+	b.Helper()
+	members := cfg.All()[:cfg.Q()]
+	prepData := []byte("PREPARE view=1 slot=42 op=set k v")
+	prepSig, err := ring.Sign(members[0], prepData)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]crypto.BatchItem, 0, 2*len(members))
+	for _, p := range members {
+		commitData := []byte(fmt.Sprintf("COMMIT view=1 slot=42 replica=%s", p))
+		commitSig, err := ring.Sign(p, commitData)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items,
+			crypto.BatchItem{Signer: p, Data: commitData, Sig: commitSig},
+			crypto.BatchItem{Signer: members[0], Data: prepData, Sig: prepSig})
+	}
+	return items
 }
 
 func BenchmarkSuspicionMerge(b *testing.B) {

@@ -2,12 +2,21 @@
 // machine-readable JSON report. Every benchmark line becomes a
 // name → {ns/op, B/op, allocs/op, custom metrics} entry; the
 // suspect-graph build-vs-cached pairs, the XPaxos batched-throughput
-// sweep, the WAL group-commit sweep, the tracing-overhead pair, and the
-// commit-path stage breakdown are summarised as derived
-// speedup/amortization/overhead ratios. Input lines are echoed to stdout so the
-// command can sit at the end of a pipe without hiding the run:
+// sweep, the pipelined window sweep, the WAL group-commit sweep, the
+// tracing-overhead pair, the commit-path stage breakdown, and the
+// authenticator/cert-verification amortizations are summarised as
+// derived speedup/amortization/overhead ratios. Input lines are echoed
+// to stdout so the command can sit at the end of a pipe without hiding
+// the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR6.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR7.json
+//
+// Repeatable -require flags turn the report into a regression gate:
+//
+//	... | go run ./cmd/benchjson -require 'xpaxos.pipeline.throughput_x.16>=1.0'
+//
+// exits nonzero if the named derived metric is missing or below the
+// bound, so CI can guard the pipeline from silently degrading.
 package main
 
 import (
@@ -37,8 +46,39 @@ type Report struct {
 	Derived    map[string]float64 `json:"derived,omitempty"`
 }
 
+// requirements collects repeatable -require 'key>=value' flags.
+type requirements []requirement
+
+type requirement struct {
+	key string
+	min float64
+}
+
+func (rs *requirements) String() string {
+	var parts []string
+	for _, r := range *rs {
+		parts = append(parts, fmt.Sprintf("%s>=%g", r.key, r.min))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (rs *requirements) Set(s string) error {
+	key, val, ok := strings.Cut(s, ">=")
+	if !ok {
+		return fmt.Errorf("want 'key>=value', got %q", s)
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+	if err != nil {
+		return fmt.Errorf("bound in %q: %v", s, err)
+	}
+	*rs = append(*rs, requirement{key: strings.TrimSpace(key), min: min})
+	return nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR7.json", "output JSON file")
+	var reqs requirements
+	flag.Var(&reqs, "require", "derived metric bound 'key>=value' (repeatable); exit 1 if missing or below")
 	flag.Parse()
 
 	rep := Report{Derived: map[string]float64{}}
@@ -67,6 +107,8 @@ func main() {
 	}
 	deriveGraphRatios(&rep)
 	deriveBatchingSpeedup(&rep)
+	derivePipelineSweep(&rep)
+	deriveCryptoVerify(&rep)
 	deriveWALAmortization(&rep)
 	deriveTraceOverhead(&rep)
 	deriveStagePct(&rep)
@@ -81,6 +123,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	failed := false
+	for _, r := range reqs {
+		v, ok := rep.Derived[r.key]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchjson: REQUIRE %s>=%g: metric missing\n", r.key, r.min)
+			failed = true
+		case v < r.min:
+			fmt.Fprintf(os.Stderr, "benchjson: REQUIRE %s>=%g: got %g\n", r.key, r.min, v)
+			failed = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: require %s>=%g ok (%g)\n", r.key, r.min, v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // parseBenchLine parses a line of the form
@@ -180,6 +240,68 @@ func deriveBatchingSpeedup(rep *Report) {
 		}
 		rep.Derived["xpaxos.batching.throughput_x."+batch] =
 			b.Metrics["req/s"] / base.Metrics["req/s"]
+	}
+}
+
+// derivePipelineSweep records the commit-window sweep over the Ed25519
+// TCP path (emulated LAN RTT): xpaxos.pipeline.req_s.<w> is the
+// absolute committed-request throughput at window w, and
+// xpaxos.pipeline.throughput_x.<w> the speedup over the lockstep
+// (window=1) leader. throughput_x.16 is the CI regression gate: below
+// 1.0 the pipeline has degraded to lockstep.
+func derivePipelineSweep(rep *Report) {
+	const prefix = "BenchmarkXPaxosPipelinedThroughput/window="
+	byWindow := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, prefix) {
+			byWindow[strings.TrimPrefix(b.Name, prefix)] = b
+		}
+	}
+	for w, b := range byWindow {
+		rep.Derived["xpaxos.pipeline.req_s."+w] = b.Metrics["req/s"]
+	}
+	base, ok := byWindow["1"]
+	if !ok || base.Metrics["req/s"] <= 0 {
+		return
+	}
+	for w, b := range byWindow {
+		if w == "1" {
+			continue
+		}
+		rep.Derived["xpaxos.pipeline.throughput_x."+w] =
+			b.Metrics["req/s"] / base.Metrics["req/s"]
+	}
+}
+
+// deriveCryptoVerify records the signature-verification amortizations:
+// crypto.verify.cert_batch_speedup_x is how much cheaper per signature
+// one batched (deduplicating) pass over a quorum commit certificate is
+// than checking its 2q signatures serially, and
+// crypto.verify.batch_speedup_x.<ring> the same single-vs-batched ratio
+// per authenticator from BenchmarkAuthenticators. crypto.verify.ns.<ring>
+// keeps the absolute single-verify cost for cross-PR comparison.
+func deriveCryptoVerify(rep *Report) {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	serial, ok1 := byName["BenchmarkQuorumCertVerify/serial"]
+	batched, ok2 := byName["BenchmarkQuorumCertVerify/batched"]
+	if ok1 && ok2 && batched.Metrics["ns/verify"] > 0 {
+		rep.Derived["crypto.verify.cert_batch_speedup_x"] =
+			serial.Metrics["ns/verify"] / batched.Metrics["ns/verify"]
+	}
+	for _, ring := range []string{"ed25519", "hmac", "nop"} {
+		single, ok1 := byName["BenchmarkAuthenticators/"+ring+"/verify"]
+		batch, ok2 := byName["BenchmarkAuthenticators/"+ring+"/verify-batched"]
+		if !ok1 {
+			continue
+		}
+		rep.Derived["crypto.verify.ns."+ring] = single.Metrics["ns/verify"]
+		if ok2 && batch.Metrics["ns/verify"] > 0 {
+			rep.Derived["crypto.verify.batch_speedup_x."+ring] =
+				single.Metrics["ns/verify"] / batch.Metrics["ns/verify"]
+		}
 	}
 }
 

@@ -31,6 +31,9 @@ func main() {
 		n           = flag.Int("n", 4, "cluster size")
 		f           = flag.Int("f", 1, "failure threshold")
 		batch       = flag.Int("batch", 1, "replica batch size")
+		window      = flag.Int("window", 0, "xpaxos commit-window depth (0 = unbounded)")
+		reorder     = flag.Bool("reorder", false, "allow per-link message reordering")
+		asyncVerify = flag.Bool("async-verify", false, "route signature checks through the async-verify path")
 		metricsDump = flag.Bool("metrics-dump", false, "print the campaign's metrics in Prometheus text format after the run")
 		traceDump   = flag.String("trace-dump", "", "write the flight-recorder dump (spans + events JSON) of a replayed or violating seed to this file")
 	)
@@ -51,12 +54,15 @@ func main() {
 	for _, p := range ps {
 		cfg := chaos.Config{
 			N: *n, F: *f,
-			Protocol:  p,
-			Faults:    fs,
-			BatchSize: *batch,
-			Seeds:     *seeds,
-			FirstSeed: *first,
-			Metrics:   reg,
+			Protocol:    p,
+			Faults:      fs,
+			BatchSize:   *batch,
+			Window:      *window,
+			Reorder:     *reorder,
+			AsyncVerify: *asyncVerify,
+			Seeds:       *seeds,
+			FirstSeed:   *first,
+			Metrics:     reg,
 		}
 		if *seed >= 0 {
 			dump, fl, v := chaos.ReplayDump(cfg, *seed)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	qs "quorumselect"
+	"quorumselect/internal/crypto"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/wire"
@@ -38,6 +39,8 @@ func main() {
 	f := flag.Int("f", 1, "failure threshold")
 	n := flag.Int("n", 4, "number of processes (local mode)")
 	secret := flag.String("secret", "quorumselect-dev", "shared HMAC master secret")
+	auth := flag.String("auth", "hmac", "authenticator: hmac (uses -secret), ed25519 (deterministic demo keyring), nop (no authentication; benchmarks only)")
+	window := flag.Int("window", 16, "leader commit-window depth: slots in flight before client batches pool in the mempool (0 = unbounded)")
 	local := flag.Bool("local", false, "run the whole cluster in this process")
 	requests := flag.Int("requests", 10, "requests to submit in local mode")
 	dataDir := flag.String("data-dir", "", "durable state directory (empty: run in-memory); each process needs its own")
@@ -48,14 +51,32 @@ func main() {
 	flag.Parse()
 
 	if *local {
-		runLocal(*n, *f, *secret, *requests, *dataDir, *verbose)
+		runLocal(*n, *f, *secret, *auth, *window, *requests, *dataDir, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *auth, *window, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
+}
+
+// makeAuth builds the wire authenticator selected by -auth. The
+// ed25519 keyring is derived deterministically (every process computes
+// the same keys), so separate server processes interoperate without a
+// key-distribution step — demo and benchmark quality, not production
+// key management.
+func makeAuth(kind string, cfg qs.Config, secret string) (qs.Authenticator, error) {
+	switch kind {
+	case "hmac":
+		return qs.NewHMACAuth(cfg, []byte(secret)), nil
+	case "ed25519":
+		return qs.NewEd25519Auth(cfg)
+	case "nop":
+		return crypto.NopRing{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -auth %q (want hmac, ed25519, or nop)", kind)
+	}
 }
 
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
-	listen string, secret, dataDir string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
+	listen string, secret, auth string, window int, dataDir string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
 	nodeOpts := qs.DefaultNodeOptions()
 	nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
 	if dataDir != "" {
@@ -69,6 +90,7 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	node, replica := qs.NewXPaxosNode(qs.XPaxosOptions{
 		SM:                 kv,
 		CheckpointInterval: 100,
+		Window:             window,
 		OnExecute: func(e qs.Execution) {
 			fmt.Printf("[%s] executed %s -> %q\n", p, e, e.Result)
 			if onExec != nil {
@@ -80,12 +102,16 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	if verbose {
 		logger = logging.NewWriterLogger(os.Stdout, logging.LevelDebug)
 	}
+	ring, err := makeAuth(auth, cfg, secret)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	host, err := qs.NewTCPHost(qs.HostConfig{
 		Self:       p,
 		System:     cfg,
 		ListenAddr: listen,
 		Peers:      addrs,
-		Auth:       qs.NewHMACAuth(cfg, []byte(secret)),
+		Auth:       ring,
 		Logger:     logger,
 		Tracer:     qs.NewTracer(0),
 		Seed:       int64(p),
@@ -93,7 +119,7 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	return host, replica, kv, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, auth string, window int, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -126,7 +152,7 @@ func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debug
 	}
 
 	var fe *frontend
-	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, dataDir, verbose,
+	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, auth, window, dataDir, verbose,
 		func(e qs.Execution) {
 			if fe != nil {
 				fe.onExecute(e)
@@ -166,7 +192,7 @@ func runServer(id int, peersFlag string, f int, secret, dataDir, httpAddr, debug
 	os.Exit(0)
 }
 
-func runLocal(n, f int, secret string, requests int, dataDir string, verbose bool) {
+func runLocal(n, f int, secret, auth string, window, requests int, dataDir string, verbose bool) {
 	cfg, err := qs.NewConfig(n, f)
 	if err != nil {
 		log.Fatal(err)
@@ -179,7 +205,7 @@ func runLocal(n, f int, secret string, requests int, dataDir string, verbose boo
 			// Each process persists into its own subdirectory.
 			dir = fmt.Sprintf("%s/p%d", dataDir, p)
 		}
-		host, replica, _, err := buildHost(p, cfg, nil, "", secret, dir, verbose, nil)
+		host, replica, _, err := buildHost(p, cfg, nil, "", secret, auth, window, dir, verbose, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

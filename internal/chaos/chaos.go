@@ -54,6 +54,19 @@ type Config struct {
 	// BatchSize is the replica batch size for batching protocols
 	// (default 1).
 	BatchSize int
+	// Window bounds the XPaxos leader's in-flight pipeline (0 =
+	// unbounded, the unwindowed behavior). Other protocols ignore it.
+	Window int
+	// Reorder disables the simulator's per-link FIFO clamp so messages
+	// on one link may overtake each other — the schedule a pipelined
+	// commit path must tolerate (COMMIT before PREPARE, slots out of
+	// order).
+	Reorder bool
+	// AsyncVerify routes signature checks through the simulator's
+	// deterministic asynchronous-verification path (a zero-delay
+	// completion event per check) instead of inline calls, exercising
+	// the off-loop verify plumbing under faults.
+	AsyncVerify bool
 	// Requests is the workload size submitted while faults are active
 	// (default 30; ignored for the core-only protocol).
 	Requests int
@@ -230,7 +243,7 @@ func (r *RunState) submit(req *wire.Request) {
 func runSeed(cfg Config, seed int64, alwaysDump bool) (*Violation, string, []byte) {
 	idsCfg := ids.MustConfig(cfg.N, cfg.F)
 	sc := GenerateScenario(idsCfg, seed, cfg.Faults, cfg.Protocol.restartable(), cfg.FaultEnd)
-	cl := newCluster(idsCfg, cfg.Protocol, cfg.BatchSize, cfg.TamperSkipSync, seed, sc.Filter, cfg.Metrics)
+	cl := newCluster(idsCfg, cfg, seed, sc.Filter)
 	defer cl.net.Close()
 
 	rs := &RunState{Config: cfg, Scenario: sc, cluster: cl,

@@ -97,6 +97,35 @@ func TestChaosBatchedProperty(t *testing.T) {
 	}
 }
 
+// TestChaosPipelinedReorder exercises the pipelined commit path under
+// the harshest delivery schedule the simulator offers: a bounded
+// in-flight window keeps several slots open at once, per-link FIFO is
+// off so COMMITs overtake PREPAREs and slots interleave arbitrarily,
+// and every signature check detours through the deterministic
+// async-verify path. Execution must stay in slot order and agree
+// across replicas regardless.
+func TestChaosPipelinedReorder(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	res := Run(Config{
+		Protocol:    ProtocolXPaxos,
+		BatchSize:   4,
+		Window:      4,
+		Reorder:     true,
+		AsyncVerify: true,
+		Seeds:       seeds,
+		FirstSeed:   300,
+	})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation.Dump)
+	}
+	if res.Seeds != seeds {
+		t.Fatalf("executed %d seeds, want %d", res.Seeds, seeds)
+	}
+}
+
 // TestInjectedAgreementBugCaught is the harness's own smoke alarm test:
 // deliberately corrupt one replica's history through the test-only
 // tamper hook and demand the fuzzer reports a violating seed within 200

@@ -10,7 +10,6 @@ import (
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
-	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
 	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/pbftlite"
@@ -124,6 +123,7 @@ type cluster struct {
 	cfg       ids.Config
 	protocol  Protocol
 	batchSize int
+	window    int
 	skipSync  bool
 	net       *sim.Network
 	members   map[ids.ProcessID]*member
@@ -137,12 +137,13 @@ type cluster struct {
 // a real (HMAC) ring: chaos mutates frames, and only unforgeable
 // signatures make "a corrupted signed message is dropped, not
 // attributed" hold the way the paper assumes.
-func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool, seed int64, filter sim.Filter, reg *metrics.Registry) *cluster {
+func newCluster(cfg ids.Config, run Config, seed int64, filter sim.Filter) *cluster {
 	c := &cluster{
 		cfg:       cfg,
-		protocol:  protocol,
-		batchSize: batchSize,
-		skipSync:  skipSync,
+		protocol:  run.Protocol,
+		batchSize: run.BatchSize,
+		window:    run.Window,
+		skipSync:  run.TamperSkipSync,
 		members:   make(map[ids.ProcessID]*member, cfg.N),
 		bus:       obs.NewBus(0),
 		spans:     tracer.New(0),
@@ -157,14 +158,16 @@ func newCluster(cfg ids.Config, protocol Protocol, batchSize int, skipSync bool,
 	// assigned right after — by the time anything logs, it is set.
 	c.rec = trace.NewRecorder(func() time.Duration { return c.net.Now() }, logging.LevelDebug)
 	c.net = sim.NewNetwork(cfg, nodes, sim.Options{
-		Metrics: reg,
-		Seed:    seed,
-		Latency: sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond),
-		Filter:  filter,
-		Auth:    crypto.NewHMACRing(cfg, []byte("chaos-master")),
-		Logger:  c.rec,
-		Events:  c.bus,
-		Tracer:  c.spans,
+		Metrics:      run.Metrics,
+		Seed:         seed,
+		Latency:      sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond),
+		Filter:       filter,
+		Auth:         crypto.NewHMACRing(cfg, []byte("chaos-master")),
+		Logger:       c.rec,
+		Events:       c.bus,
+		Tracer:       c.spans,
+		AllowReorder: run.Reorder,
+		AsyncVerify:  run.AsyncVerify,
 	})
 	return c
 }
@@ -192,6 +195,7 @@ func (c *cluster) newMember(backend *storage.MemBackend) *member {
 		n, r := xpaxos.NewQSNode(xpaxos.Options{
 			CheckpointInterval: 8,
 			BatchSize:          c.batchSize,
+			Window:             c.window,
 		}, nodeOpts)
 		return &member{node: n, host: n.Host, submit: r.Submit, history: r.Executions, backend: backend}
 	case ProtocolPBFT:

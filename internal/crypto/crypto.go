@@ -184,8 +184,8 @@ func deterministicReader(seed int64) io.Reader {
 type readerFunc struct{ r *rand.Rand }
 
 func (f readerFunc) Read(p []byte) (int, error) {
-	for i := range p {
-		p[i] = byte(f.r.Intn(256))
-	}
-	return len(p), nil
+	// rand.Rand.Read fills the whole slice from the generator's word
+	// stream (8 bytes per draw) and never fails; drawing one byte per
+	// Intn call made key generation for large rings measurably slow.
+	return f.r.Read(p)
 }

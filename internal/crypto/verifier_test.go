@@ -1,0 +1,235 @@
+package crypto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"quorumselect/internal/ids"
+)
+
+// certItems builds the verification batch of a quorum commit
+// certificate over ring: one distinct COMMIT signature per quorum
+// member plus, for each, a copy of the SAME embedded PREPARE signature
+// — 2q items, q+1 distinct checks.
+func certItems(tb testing.TB, cfg ids.Config, ring Authenticator) []BatchItem {
+	tb.Helper()
+	members := cfg.All()[:cfg.Q()]
+	prepData := []byte("PREPARE view=1 slot=42 op=set k v")
+	prepSig, err := ring.Sign(members[0], prepData)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	items := make([]BatchItem, 0, 2*len(members))
+	for _, p := range members {
+		commitData := []byte(fmt.Sprintf("COMMIT view=1 slot=42 replica=%s", p))
+		commitSig, err := ring.Sign(p, commitData)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		items = append(items,
+			BatchItem{Signer: p, Data: commitData, Sig: commitSig},
+			BatchItem{Signer: members[0], Data: prepData, Sig: prepSig})
+	}
+	return items
+}
+
+func TestVerifySerialAligned(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	ring := NewHMACRing(cfg, []byte("vk"))
+	items := certItems(t, cfg, ring)
+	items[2].Sig = []byte("forged")
+	errs := VerifySerial(ring, items)
+	if len(errs) != len(items) {
+		t.Fatalf("got %d errors for %d items", len(errs), len(items))
+	}
+	for i, err := range errs {
+		if (i == 2) != (err != nil) {
+			t.Fatalf("item %d: unexpected verdict %v", i, err)
+		}
+	}
+}
+
+func TestPoolVerifyBatchDedupsAndAligns(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	ring := NewHMACRing(cfg, []byte("vk"))
+	pool := NewPool(ring, 2)
+	defer pool.Close()
+
+	items := certItems(t, cfg, ring)
+	errs := pool.VerifyBatch(items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("valid cert item %d rejected: %v", i, err)
+		}
+	}
+
+	// A forged duplicate must fail everywhere it is aliased: corrupt the
+	// shared prepare signature on every copy.
+	bad := certItems(t, cfg, ring)
+	for i := 1; i < len(bad); i += 2 {
+		bad[i].Sig = []byte("forged")
+	}
+	errs = pool.VerifyBatch(bad)
+	for i, err := range errs {
+		odd := i%2 == 1
+		if odd && err == nil {
+			t.Fatalf("forged prepare copy %d accepted", i)
+		}
+		if !odd && err != nil {
+			t.Fatalf("valid commit %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestPoolVerifyBatchSignerConfusion(t *testing.T) {
+	// Two items with identical signature bytes but different signers (or
+	// different data) must NOT share a verdict: the dedup key includes
+	// both.
+	cfg := ids.MustConfig(4, 1)
+	ring := NewHMACRing(cfg, []byte("vk"))
+	pool := NewPool(ring, 1)
+	defer pool.Close()
+	data := []byte("payload")
+	sig, err := ring.Sign(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Signer: 1, Data: data, Sig: sig},
+		{Signer: 2, Data: data, Sig: sig},                 // same sig, wrong signer
+		{Signer: 1, Data: []byte("other data"), Sig: sig}, // same sig, wrong data
+	}
+	errs := pool.VerifyBatch(items)
+	if errs[0] != nil {
+		t.Fatalf("genuine item rejected: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("signature accepted for the wrong signer")
+	}
+	if errs[2] == nil {
+		t.Fatal("signature accepted over the wrong data")
+	}
+}
+
+func TestPoolVerifyAsyncDelivers(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	ring := NewHMACRing(cfg, []byte("vk"))
+	pool := NewPool(ring, 2)
+	defer pool.Close()
+
+	data := []byte("async payload")
+	sig, err := ring.Sign(3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 64
+	results := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		if i%2 == 0 {
+			pool.VerifyAsync(3, data, sig, func(err error) { results <- err })
+		} else {
+			pool.VerifyAsync(3, data, []byte("forged"), func(err error) { results <- err })
+		}
+	}
+	good, bad := 0, 0
+	for i := 0; i < jobs; i++ {
+		if err := <-results; err != nil {
+			bad++
+		} else {
+			good++
+		}
+	}
+	if good != jobs/2 || bad != jobs/2 {
+		t.Fatalf("got %d good / %d bad verdicts, want %d/%d", good, bad, jobs/2, jobs/2)
+	}
+}
+
+func TestPoolCloseDropsQueued(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	ring := NewHMACRing(cfg, []byte("vk"))
+	pool := NewPool(ring, 1)
+	pool.Close()
+	pool.Close() // idempotent
+	// Submissions after Close are dropped without invoking done.
+	pool.VerifyAsync(1, []byte("x"), []byte("y"), func(error) {
+		t.Error("done callback ran after Close")
+	})
+}
+
+// TestPoolRaceStorm hammers one pool from many goroutines mixing async
+// submissions, batched passes, and a mid-storm Close — the -race
+// harness for the verifier's locking.
+func TestPoolRaceStorm(t *testing.T) {
+	cfg := ids.MustConfig(7, 2)
+	ring := NewHMACRing(cfg, []byte("storm"))
+	pool := NewPool(ring, 4)
+	items := certItems(t, cfg, ring)
+	data := []byte("storm payload")
+	sig, err := ring.Sign(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					pool.VerifyAsync(1, data, sig, func(error) {})
+				} else {
+					pool.VerifyBatch(items)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pool.Close()
+	}()
+	wg.Wait()
+	pool.Close()
+}
+
+// BenchmarkQuorumCertVerify measures the signature cost of validating
+// one lazy-replication commit certificate at n=7, f=2 (q=5): 2q
+// signature checks serially versus one batched pass whose dedup
+// collapses the q identical embedded-prepare copies into a single
+// check (q+1 total). The ns/verify metric is per certificate item, so
+// the batched/serial ratio is the per-signature amortization benchjson
+// derives.
+func BenchmarkQuorumCertVerify(b *testing.B) {
+	cfg := ids.MustConfig(7, 2)
+	ring, err := NewEd25519Ring(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := certItems(b, cfg, ring)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, err := range VerifySerial(ring, items) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(items)), "ns/verify")
+	})
+	b.Run("batched", func(b *testing.B) {
+		pool := NewPool(ring, 0)
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, err := range pool.VerifyBatch(items) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(items)), "ns/verify")
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -108,11 +109,27 @@ type Detector struct {
 	// the first still-standing suspicion of each process.
 	firstSuspectedAt map[ids.ProcessID]time.Duration
 
+	// verifyq is the arrival-order FIFO of messages awaiting (or past)
+	// signature verification when the environment verifies
+	// asynchronously; with synchronous verification entries complete
+	// inline and the queue never holds more than the message being
+	// received.
+	verifyq []*pendingVerify
+
 	// closed marks the detector torn down: timers are stopped and new
 	// expectations are refused.
 	closed bool
 
 	log logging.Logger
+}
+
+// pendingVerify is one arrival waiting in the verification FIFO.
+type pendingVerify struct {
+	from ids.ProcessID
+	m    wire.Message
+	done bool
+	err  error
+	span tracer.Active // verify.wait stage; zero when untraced or synchronous
 }
 
 // New returns an unbound Detector; call Bind before use.
@@ -166,15 +183,69 @@ func (d *Detector) Bind(env runtime.Env, deliver Deliver, onSuspect OnSuspect) {
 // Algorithm 2 line 36), and a forwarded copy must still satisfy an
 // expectation against the originator — that indirect propagation is
 // what Lemmas 1 and 6 count on.
+//
+// When the environment verifies asynchronously (runtime.AsyncVerifier)
+// the signature check leaves the event loop, but dispatch order does
+// not change: every arrival joins a FIFO of pending verifications and
+// messages are matched/delivered strictly in arrival order as the
+// heads of that queue complete. Unsigned messages (heartbeats) queue
+// behind pending signed ones from the same stream, so an environment's
+// per-link FIFO guarantee survives off-loop verification unchanged.
 func (d *Detector) Receive(from ids.ProcessID, m wire.Message) {
-	if signed, ok := m.(wire.Signed); ok {
-		if err := runtime.Verify(d.env, signed); err != nil {
-			d.env.Metrics().Inc("fd.dropped.badsig", 1)
-			d.log.Logf(logging.LevelDebug, "fd: dropping %s from %s: %v", m.Kind(), from, err)
+	signed, ok := m.(wire.Signed)
+	if !ok {
+		if len(d.verifyq) == 0 {
+			d.dispatch(from, m)
 			return
 		}
-		from = signed.Signer()
+		d.verifyq = append(d.verifyq, &pendingVerify{from: from, m: m, done: true})
+		return
 	}
+	pv := &pendingVerify{from: from, m: m}
+	d.verifyq = append(d.verifyq, pv)
+	runtime.VerifyAsync(d.env, signed, func(err error) {
+		pv.err = err
+		pv.done = true
+		d.drainVerified()
+	})
+	if !pv.done {
+		// Genuinely asynchronous: the message now waits in the queue.
+		// The wait becomes a commit-path stage when the frame carries a
+		// trace context to hang it on.
+		if tc, ok := m.(wire.TraceCarrier); ok && !tc.TraceCtx().Zero() {
+			pv.span = runtime.TraceStart(d.env, "verify.wait", tc.TraceCtx())
+		}
+	}
+}
+
+// drainVerified dispatches completed verifications from the head of
+// the arrival FIFO. It stops at the first still-pending entry, so
+// out-of-order completions never reorder delivery.
+func (d *Detector) drainVerified() {
+	for len(d.verifyq) > 0 && d.verifyq[0].done {
+		pv := d.verifyq[0]
+		d.verifyq[0] = nil
+		d.verifyq = d.verifyq[1:]
+		if len(d.verifyq) == 0 {
+			d.verifyq = nil
+		}
+		runtime.TraceEnd(d.env, pv.span)
+		from := pv.from
+		if signed, ok := pv.m.(wire.Signed); ok {
+			if pv.err != nil {
+				d.env.Metrics().Inc("fd.dropped.badsig", 1)
+				d.log.Logf(logging.LevelDebug, "fd: dropping %s from %s: %v", pv.m.Kind(), from, pv.err)
+				continue
+			}
+			from = signed.Signer()
+		}
+		d.dispatch(from, pv.m)
+	}
+}
+
+// dispatch is the authenticated tail of Receive: expectation matching,
+// heartbeat consumption, delivery.
+func (d *Detector) dispatch(from ids.ProcessID, m wire.Message) {
 	d.match(from, m)
 	if IsHeartbeat(m) {
 		return // consumed by the expectations; nothing above wants it
@@ -359,6 +430,9 @@ func (d *Detector) Close() {
 		}
 	}
 	d.expects = nil
+	// Verifications still in flight complete against an empty queue:
+	// their drain finds nothing to dispatch.
+	d.verifyq = nil
 }
 
 // Closed reports whether the detector has been torn down.

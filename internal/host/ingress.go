@@ -54,6 +54,14 @@ type Ingress struct {
 	adopted wire.TraceContext
 	timer   runtime.Timer
 	stopped bool
+	// gate, when set, defers flushes while it reports false: the buffer
+	// keeps absorbing submissions (it may grow past BatchSize — that is
+	// the point, the mempool is the backpressure reservoir) until the
+	// owner reopens the gate and calls Flush. Nil means always open.
+	gate func() bool
+	// flushing guards against reentrant Flush: a flush callback that
+	// frees window capacity may call Flush again synchronously.
+	flushing bool
 }
 
 // NewIngress creates a mempool delivering batches to flush. The flush
@@ -75,6 +83,15 @@ func NewIngress(env runtime.Env, opts IngressOptions, flush func([]*wire.Request
 
 // BatchSize returns the configured flush threshold.
 func (in *Ingress) BatchSize() int { return in.opts.BatchSize }
+
+// SetGate installs the flush gate (see the field comment); protocols
+// use it for commit-window backpressure: a leader whose in-flight
+// window is full closes the gate, and submissions pool in the mempool
+// instead of turning into unbounded protocol state. Call Flush after
+// the gate reopens — the ingress does not poll it.
+func (in *Ingress) SetGate(gate func() bool) { in.gate = gate }
+
+func (in *Ingress) gateOpen() bool { return in.gate == nil || in.gate() }
 
 // Pending returns how many requests are buffered awaiting a flush.
 func (in *Ingress) Pending() int { return len(in.buf) }
@@ -105,7 +122,7 @@ func (in *Ingress) Submit(req *wire.Request) error {
 		in.adopted = wire.TraceContext{}
 	}
 	in.buf = append(in.buf, req)
-	if len(in.buf) >= in.opts.BatchSize {
+	if len(in.buf) >= in.opts.BatchSize && in.gateOpen() {
 		in.Flush()
 		return nil
 	}
@@ -118,11 +135,21 @@ func (in *Ingress) Submit(req *wire.Request) error {
 	return nil
 }
 
-// Flush delivers the buffered batch, if any, canceling a pending
+// Flush delivers the buffered requests, if any, canceling a pending
 // max-latency timer. Protocols call it directly when they gain the
-// ability to propose (e.g. on becoming leader) to drain requests
-// buffered while they could not.
+// ability to propose (on becoming leader, or when commit-window
+// capacity frees up) to drain requests buffered while they could not.
+//
+// Delivery is chunked at BatchSize and stops as soon as the gate
+// closes, so a gated leader proposes exactly as much as its window
+// admits: each chunk may consume capacity and shut the gate for the
+// next. Ungated, the buffer never exceeds BatchSize (Submit flushes at
+// the threshold), so the loop degenerates to the single whole-buffer
+// delivery of the ungated design.
 func (in *Ingress) Flush() {
+	if in.flushing {
+		return
+	}
 	if in.timer != nil {
 		in.timer.Stop()
 		in.timer = nil
@@ -130,13 +157,55 @@ func (in *Ingress) Flush() {
 	if in.stopped || len(in.buf) == 0 {
 		return
 	}
-	batch := in.buf
-	in.buf = nil
-	span := in.span
-	in.span = tracer.Active{}
-	runtime.TraceEnd(in.env, span)
-	in.env.Metrics().Observe("host.ingress.batch_size", float64(len(batch)))
-	in.flush(batch, span.Context())
+	in.flushing = true
+	first := true
+	for len(in.buf) > 0 && in.gateOpen() {
+		n := in.opts.BatchSize
+		if n > len(in.buf) {
+			n = len(in.buf)
+		}
+		batch := in.buf[:n:n]
+		in.buf = in.buf[n:]
+		if len(in.buf) == 0 {
+			in.buf = nil
+		}
+		// Only the first chunk carries the ingress span: it covers the
+		// buffering time of the oldest requests, and ending it once
+		// keeps one span per buffered burst rather than one per chunk.
+		var tc wire.TraceContext
+		if first {
+			first = false
+			span := in.span
+			in.span = tracer.Active{}
+			runtime.TraceEnd(in.env, span)
+			tc = span.Context()
+		}
+		in.env.Metrics().Observe("host.ingress.batch_size", float64(n))
+		in.flush(batch, tc)
+		if in.stopped {
+			in.flushing = false
+			return
+		}
+	}
+	in.flushing = false
+	if len(in.buf) > 0 {
+		// Gated residue: its original span (if any) ended with the first
+		// chunk, so open a fresh one covering the continued wait, and
+		// re-arm the latency timer so the residue retries even if the
+		// owner never calls Flush again.
+		if first {
+			// Nothing was delivered (gate closed at entry): the original
+			// span and trace adoption still stand.
+		} else if !in.span.Traced() {
+			in.span = runtime.TraceStart(in.env, "ingress", wire.TraceContext{})
+		}
+		if in.timer == nil {
+			in.timer = in.env.After(in.opts.MaxLatency, func() {
+				in.timer = nil
+				in.Flush()
+			})
+		}
+	}
 }
 
 // Stop implements Stoppable: it cancels the flush timer and drops

@@ -129,6 +129,60 @@ func Verify(env Env, m wire.Signed) error {
 	return env.Auth().Verify(m.Signer(), m.SigBytes(), m.Signature())
 }
 
+// AsyncVerifier is the optional off-loop verification extension of Env.
+// An environment that implements it may verify signatures away from the
+// event loop and deliver the result back ONTO the loop: done(err) must
+// run as a loop event (a virtual-time event in the simulator, an events
+// queue closure on the TCP host), never concurrently with protocol
+// code.
+type AsyncVerifier interface {
+	// VerifyAsync starts verification of m and reports whether it was
+	// accepted: false means asynchronous verification is disabled (or
+	// shut down) and done was NOT called — the caller verifies
+	// synchronously instead.
+	VerifyAsync(m wire.Signed, done func(error)) bool
+}
+
+// VerifyAsync verifies m through env's AsyncVerifier when it has one,
+// falling back to an inline synchronous Verify otherwise. It reports
+// whether verification went asynchronous: if false, done already ran
+// before VerifyAsync returned.
+func VerifyAsync(env Env, m wire.Signed, done func(error)) bool {
+	if av, ok := env.(AsyncVerifier); ok && av.VerifyAsync(m, done) {
+		return true
+	}
+	done(Verify(env, m))
+	return false
+}
+
+// BatchVerifier is the optional batched-verification extension of Env:
+// all items of one pass are checked together (deduplicated and fanned
+// out across CPUs on the TCP host), blocking until the whole batch is
+// decided. Unlike AsyncVerifier this stays on the calling thread, so
+// protocol code may use the results immediately.
+type BatchVerifier interface {
+	// VerifyBatch returns one error per item, aligned with items, or
+	// nil when batched verification is disabled.
+	VerifyBatch(items []crypto.BatchItem) []error
+}
+
+// VerifyBatch checks a batch of signatures through env's BatchVerifier
+// when it has one, serially otherwise. The result is always aligned
+// with items.
+func VerifyBatch(env Env, items []crypto.BatchItem) []error {
+	if bv, ok := env.(BatchVerifier); ok {
+		if errs := bv.VerifyBatch(items); errs != nil {
+			return errs
+		}
+	}
+	return crypto.VerifySerial(env.Auth(), items)
+}
+
+// BatchItemOf builds the batch-verification item for a signed message.
+func BatchItemOf(m wire.Signed) crypto.BatchItem {
+	return crypto.BatchItem{Signer: m.Signer(), Data: m.SigBytes(), Sig: m.Signature()}
+}
+
 // Emit publishes a protocol event stamped with env's identity and
 // clock.
 func Emit(env Env, e obs.Event) {

@@ -116,6 +116,15 @@ type Options struct {
 	// (false) preserves the paper's reliable-FIFO channel model; chaos
 	// scenarios opt in to explore schedules the model excludes.
 	AllowReorder bool
+	// AsyncVerify models off-loop signature verification in virtual
+	// time: every runtime.VerifyAsync completion is delivered as its
+	// own zero-delay event instead of running inline, exercising the
+	// same completion-reordering machinery the TCP transport's worker
+	// pool does — deterministically, so seeded runs stay byte-identical
+	// across replays. The signature check itself still happens eagerly
+	// (virtual time has no CPU cost to move off the loop). Default off:
+	// inline verification, the seed behavior.
+	AsyncVerify bool
 }
 
 // Network is the simulated system: the event queue, the clock, and one
@@ -508,6 +517,23 @@ func (e *procEnv) After(d time.Duration, fn func()) runtime.Timer {
 	}
 	ev := e.net.schedule(e.net.now+d, fn)
 	return ev
+}
+
+var _ runtime.AsyncVerifier = (*procEnv)(nil)
+
+// VerifyAsync implements runtime.AsyncVerifier when Options.AsyncVerify
+// is set: the check runs eagerly (it is deterministic and free in
+// virtual time) but its completion is delivered as a zero-delay event,
+// so protocol code observes the same "verified later, possibly after
+// other arrivals" schedule the TCP worker pool produces — with event
+// ordering still a pure function of the seed.
+func (e *procEnv) VerifyAsync(m wire.Signed, done func(error)) bool {
+	if !e.net.opts.AsyncVerify {
+		return false
+	}
+	err := e.net.opts.Auth.Verify(m.Signer(), m.SigBytes(), m.Signature())
+	e.After(0, func() { done(err) })
+	return true
 }
 
 // event is a scheduled occurrence; it doubles as the runtime.Timer

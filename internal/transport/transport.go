@@ -73,6 +73,13 @@ type Config struct {
 	Tracer *tracer.Tracer
 	// Seed drives the Env's randomness (default 1).
 	Seed int64
+	// VerifyWorkers sizes the off-loop signature-verification pool:
+	// inbound signed messages verify on pool workers instead of the
+	// event loop (arrival order preserved by the failure detector's
+	// pending-verify FIFO), and quorum-certificate batches fan out
+	// across them. 0 selects GOMAXPROCS workers; negative disables the
+	// pool and verifies synchronously on the loop.
+	VerifyWorkers int
 }
 
 // Host runs one runtime.Node over TCP.
@@ -90,6 +97,10 @@ type Host struct {
 	addrs   map[ids.ProcessID]string
 	writers map[ids.ProcessID]*peerWriter
 	closed  bool
+
+	// pool verifies signatures off the event loop (nil when disabled
+	// via Config.VerifyWorkers < 0).
+	pool *crypto.Pool
 
 	env *hostEnv
 }
@@ -135,6 +146,9 @@ func NewHost(cfg Config, node runtime.Node) (*Host, error) {
 	}
 	for p, a := range cfg.Peers {
 		h.addrs[p] = a
+	}
+	if cfg.VerifyWorkers >= 0 {
+		h.pool = crypto.NewPool(cfg.Auth, cfg.VerifyWorkers)
 	}
 	h.env = &hostEnv{
 		h:   h,
@@ -226,6 +240,12 @@ func (h *Host) Close() error {
 		w.close()
 	}
 	h.wg.Wait()
+	// Stop the verification workers last: their pending completions
+	// post to h.events guarded by h.done, so they drain without
+	// blocking once the loop is gone.
+	if h.pool != nil {
+		h.pool.Close()
+	}
 	return err
 }
 
@@ -404,6 +424,14 @@ func (w *peerWriter) close() {
 	}
 }
 
+// run drains the queue with vectored writes: every pass takes whatever
+// frames have accumulated and hands the kernel one writev-style buffer
+// chain — [len₁, frame₁, len₂, frame₂, …] — via net.Buffers, so a
+// window of pipelined PREPAREs costs one syscall instead of two per
+// frame. On a connection error the whole batch is retried on a fresh
+// connection; frames that already hit the old socket may arrive twice,
+// the same at-least-once semantics the per-frame retry had (the
+// protocols deduplicate).
 func (w *peerWriter) run() {
 	defer w.h.wg.Done()
 	var conn net.Conn
@@ -419,10 +447,11 @@ func (w *peerWriter) run() {
 			return
 		}
 		for {
-			frame, ok := w.pop()
+			frames, ok := w.popAll()
 			if !ok {
 				break
 			}
+			lens := make([]byte, 4*len(frames))
 			for {
 				if w.stopped() {
 					return
@@ -438,39 +467,46 @@ func (w *peerWriter) run() {
 						}
 					}
 				}
-				var lenBuf [4]byte
-				binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+				// WriteTo consumes its Buffers slice (partial writes
+				// shift it), so the chain is rebuilt from the retained
+				// frames on every attempt.
+				bufs := make(net.Buffers, 0, 2*len(frames))
+				for i, frame := range frames {
+					l := lens[4*i : 4*i+4]
+					binary.BigEndian.PutUint32(l, uint32(len(frame)))
+					bufs = append(bufs, l, frame)
+				}
 				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-				if _, err := conn.Write(lenBuf[:]); err != nil {
+				if _, err := bufs.WriteTo(conn); err != nil {
 					conn.Close()
 					conn = nil
 					continue
 				}
-				if _, err := conn.Write(frame); err != nil {
-					conn.Close()
-					conn = nil
-					continue
-				}
-				// Frame delivered to the kernel; return the buffer to
+				// Batch delivered to the kernel; return the buffers to
 				// the encode pool.
-				wire.Recycle(frame)
+				for _, frame := range frames {
+					wire.Recycle(frame)
+				}
+				w.h.cfg.Metrics.Inc("transport.writev.flushes", 1)
+				w.h.cfg.Metrics.Observe("transport.writev.frames", float64(len(frames)))
 				break
 			}
 		}
 	}
 }
 
-func (w *peerWriter) pop() ([]byte, bool) {
+// popAll takes the whole queued backlog in one swap.
+func (w *peerWriter) popAll() ([][]byte, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.queue) == 0 {
 		return nil, false
 	}
-	frame := w.queue[0]
-	w.queue = w.queue[1:]
-	w.h.cfg.Metrics.AddGauge("transport.sendq.depth", -1,
+	frames := w.queue
+	w.queue = nil
+	w.h.cfg.Metrics.AddGauge("transport.sendq.depth", -float64(len(frames)),
 		metrics.L{Key: "node", Value: w.h.cfg.Self.String()})
-	return frame, true
+	return frames, true
 }
 
 func (w *peerWriter) stopped() bool {
@@ -530,6 +566,41 @@ func (e *hostEnv) Send(to ids.ProcessID, m wire.Message) {
 		return
 	}
 	e.h.send(to, m)
+}
+
+var (
+	_ runtime.AsyncVerifier = (*hostEnv)(nil)
+	_ runtime.BatchVerifier = (*hostEnv)(nil)
+)
+
+// VerifyAsync implements runtime.AsyncVerifier: the signature check
+// runs on a pool worker and its completion is posted back onto the
+// event loop, so the loop spends none of its serial budget on ed25519
+// arithmetic. Reports false (verify synchronously) when the pool is
+// disabled.
+func (e *hostEnv) VerifyAsync(m wire.Signed, done func(error)) bool {
+	if e.h.pool == nil {
+		return false
+	}
+	e.h.cfg.Metrics.Inc("transport.verify.async", 1)
+	e.h.pool.VerifyAsync(m.Signer(), m.SigBytes(), m.Signature(), func(err error) {
+		select {
+		case e.h.events <- func() { done(err) }:
+		case <-e.h.done:
+		}
+	})
+	return true
+}
+
+// VerifyBatch implements runtime.BatchVerifier: one deduplicated,
+// fanned-out pass over a certificate's signatures. Nil (serial
+// fallback) when the pool is disabled.
+func (e *hostEnv) VerifyBatch(items []crypto.BatchItem) []error {
+	if e.h.pool == nil {
+		return nil
+	}
+	e.h.cfg.Metrics.Inc("transport.verify.batched", int64(len(items)))
+	return e.h.pool.VerifyBatch(items)
 }
 
 func (e *hostEnv) After(d time.Duration, fn func()) runtime.Timer {

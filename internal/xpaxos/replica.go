@@ -58,6 +58,13 @@ type Options struct {
 	// batch to fill; <= 0 selects host.DefaultMaxBatchLatency. Ignored
 	// at BatchSize 1, where every submit flushes synchronously.
 	MaxBatchLatency time.Duration
+	// Window bounds how many slots the leader keeps in flight (proposed
+	// but not yet committed). With a full window, new batches pool in
+	// the ingress mempool instead of becoming protocol state; capacity
+	// freed by a committing slot drains them. 0 means unbounded — the
+	// lockstep-free behavior of the unwindowed design. Followers accept
+	// out of order regardless; execution is in slot order either way.
+	Window int
 }
 
 // checkpoint is a stable checkpoint: the replica's state after
@@ -111,9 +118,9 @@ type Replica struct {
 	committedReq map[uint64][]*wire.Request
 	// ingress is the client-request mempool: requests accumulate there
 	// and flush into proposals (leader) or leader forwards (others).
-	ingress *host.Ingress
-	lastExec     uint64
-	clientTable  map[uint64]uint64 // client → highest executed seq
+	ingress     *host.Ingress
+	lastExec    uint64
+	clientTable map[uint64]uint64 // client → highest executed seq
 
 	vcVotes map[uint64]map[ids.ProcessID]*wire.ViewChange
 	pending []*wire.Request
@@ -180,6 +187,13 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 		BatchSize:  r.opts.BatchSize,
 		MaxLatency: r.opts.MaxBatchLatency,
 	}, r.flushBatch)
+	// The commit window gates ingress flushes only while this replica
+	// leads: followers forward batches immediately (the leader's own
+	// ingress applies its window), and during a view change flushBatch
+	// parks batches in r.pending, so the gate stays open.
+	r.ingress.SetGate(func() bool {
+		return !r.IsLeader() || r.changing || r.windowOpen()
+	})
 	runtime.SetNodeGauge(r.env, "xpaxos.view", 0)
 }
 
@@ -224,6 +238,28 @@ func (r *Replica) Executions() []Execution {
 // enumeration, round-robin (§V-B).
 func (r *Replica) quorumAt(v uint64) ids.Quorum {
 	return r.enumeration[int(v%uint64(len(r.enumeration)))]
+}
+
+// inflight counts slots proposed (or accepted) in the current view that
+// have not committed yet — the pipeline depth the window bounds. The
+// entries map holds at most a checkpoint interval plus a window of
+// slots, so the scan stays cheap, and deriving the count from round
+// state (rather than a counter) keeps it trivially correct across view
+// changes, which rebuild that state wholesale.
+func (r *Replica) inflight() int {
+	n := 0
+	for _, e := range r.entries {
+		if e.prep != nil && !e.committed {
+			n++
+		}
+	}
+	return n
+}
+
+// windowOpen reports whether the leader may take another slot in
+// flight.
+func (r *Replica) windowOpen() bool {
+	return r.opts.Window <= 0 || r.inflight() < r.opts.Window
 }
 
 // Submit injects a client request at this replica (the harness's or
@@ -313,6 +349,9 @@ func (r *Replica) propose(reqs []*wire.Request, tc wire.TraceContext) {
 	// commit expectations, and send its COMMIT (§V-A: expectations are
 	// issued when receiving or *sending* a PREPARE).
 	r.acceptPrepare(prep, stage)
+	if r.opts.Window > 0 {
+		runtime.SetNodeGauge(r.env, "xpaxos.window.inflight", float64(r.inflight()))
+	}
 }
 
 // Deliver implements core.Application: demultiplex authenticated
@@ -490,10 +529,11 @@ func (r *Replica) onCommit(c *wire.Commit) {
 	}
 	// Second subtlety: a COMMIT must include a valid PREPARE. The
 	// outer signature was verified by the failure detector; the
-	// embedded prepare is verified here.
+	// embedded prepare is verified here (memoized against the slot's
+	// already-verified prepare in the steady state).
 	if !c.HasPrep || c.Prep.View != c.View || c.Prep.Slot != c.Slot ||
 		c.Prep.Leader != r.Leader() ||
-		runtime.Verify(r.env, &c.Prep) != nil {
+		r.verifyEmbedded(c) != nil {
 		r.env.Metrics().Inc("xpaxos.detected.malformed", 1)
 		r.detector.Detected(c.Replica)
 		return
@@ -541,6 +581,23 @@ func (r *Replica) onCommit(c *wire.Commit) {
 	}
 	e.commits[c.Replica] = c
 	r.tryCommit(c.Slot, e)
+}
+
+// verifyEmbedded checks a COMMIT's embedded prepare signature. In the
+// steady state every COMMIT for a slot embeds a byte-identical copy of
+// the prepare this replica already accepted — and that prepare's
+// signature was verified when it arrived (by the failure detector for a
+// direct PREPARE, or right here for the first adopting COMMIT) — so a
+// matching copy is vouched for without a second crypto pass. This
+// matters at q−1 redundant verifications per slot on the hot path.
+func (r *Replica) verifyEmbedded(c *wire.Commit) error {
+	if e, ok := r.entries[c.Slot]; ok && e.prep != nil &&
+		bytes.Equal(e.prep.SigBytes(), c.Prep.SigBytes()) &&
+		bytes.Equal(e.prep.Signature(), c.Prep.Signature()) {
+		r.env.Metrics().Inc("xpaxos.verify.memoized", 1)
+		return nil
+	}
+	return runtime.Verify(r.env, &c.Prep)
 }
 
 // tryCommit commits the slot once COMMITs from every other quorum
@@ -591,6 +648,16 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 		}
 	}
 	r.execute()
+	// A committed slot frees window capacity: drain batches the gate
+	// held back. Flush is reentrancy-guarded, so reaching here from a
+	// flush-triggered propose chain is fine — the outer drain loop
+	// continues instead.
+	if r.opts.Window > 0 {
+		runtime.SetNodeGauge(r.env, "xpaxos.window.inflight", float64(r.inflight()))
+		if r.IsLeader() && !r.changing {
+			r.ingress.Flush()
+		}
+	}
 }
 
 // onCommitCert verifies a lazy-replication certificate and adopts the
@@ -601,17 +668,33 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 	if _, have := r.committedReq[cert.Slot]; have || cert.Slot <= r.lastExec {
 		return
 	}
-	signers := ids.NewProcSet()
-	var prep *wire.Prepare
+	// Pass 1: structural checks, collecting every plausible commit's
+	// signature work — the outer COMMIT and its embedded PREPARE — into
+	// one batch. A well-formed certificate embeds the SAME prepare in
+	// each of its q commits, so batched verification (which dedups
+	// identical items) does q+1 actual checks where a serial loop does
+	// 2q.
+	cand := make([]int, 0, len(cert.Commits))
+	items := make([]crypto.BatchItem, 0, 2*len(cert.Commits))
 	for i := range cert.Commits {
 		c := &cert.Commits[i]
 		if c.Slot != cert.Slot || !c.HasPrep || c.Prep.Slot != cert.Slot || c.Prep.View != c.View {
 			continue
 		}
-		if !c.Replica.Valid(r.cfg.N) || signers.Contains(c.Replica) {
+		if !c.Replica.Valid(r.cfg.N) {
 			continue
 		}
-		if runtime.Verify(r.env, c) != nil || runtime.Verify(r.env, &c.Prep) != nil {
+		cand = append(cand, i)
+		items = append(items, runtime.BatchItemOf(c), runtime.BatchItemOf(&c.Prep))
+	}
+	errs := runtime.VerifyBatch(r.env, items)
+	// Pass 2: count distinct, validly signed commits agreeing on one
+	// embedded prepare.
+	signers := ids.NewProcSet()
+	var prep *wire.Prepare
+	for j, i := range cand {
+		c := &cert.Commits[i]
+		if signers.Contains(c.Replica) || errs[2*j] != nil || errs[2*j+1] != nil {
 			continue
 		}
 		if prep == nil {

@@ -372,4 +372,8 @@ func (r *Replica) applyNewView(nv *wire.NewView) {
 			r.Submit(req)
 		}
 	}
+	// Batches may have pooled behind a closed window gate in the old
+	// view (the gate reports open again now that r.changing cleared or
+	// leadership moved); drain them under the new view's rules.
+	r.ingress.Flush()
 }
