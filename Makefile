@@ -8,7 +8,7 @@ BENCHTIME ?= 100ms
 # Seeds per protocol for `make chaos`.
 CHAOS_SEEDS ?= 50
 
-.PHONY: all build test race vet check clean golden bench chaos
+.PHONY: all build test race vet check clean golden bench bench-smoke chaos chaos-sharded
 
 all: build
 
@@ -31,30 +31,37 @@ check:
 	$(GO) test -race ./...
 
 # bench runs every benchmark with allocation stats and writes the
-# machine-readable report BENCH_PR7.json (see cmd/benchjson), including
-# the pipelined window sweep, the verify amortizations, the
-# tracing-overhead ratio, and the commit-path stage breakdown.
+# machine-readable report BENCH_PR8.json (see cmd/benchjson), including
+# the pipelined window sweep, the fleet shard-scaling sweep, the verify
+# amortizations, the tracing-overhead ratio, and the commit-path stage
+# breakdown.
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
-# bench-smoke is the CI regression gate: a brief window sweep + cert
-# verification pass that fails if the pipeline has degraded to lockstep
-# (req/s at window 16 below window 1) or batch verification has lost
-# its per-signature amortization.
+# bench-smoke is the CI regression gate: a brief window sweep + fleet
+# scaling sweep + cert verification pass that fails if the pipeline has
+# degraded to lockstep (req/s at window 16 below window 1), the 4-shard
+# fleet has lost its aggregate scaling over one group, or batch
+# verification has lost its per-signature amortization.
 bench-smoke:
 	set -o pipefail; $(GO) test -run '^$$' \
-		-bench 'BenchmarkXPaxosPipelinedThroughput|BenchmarkQuorumCertVerify' \
+		-bench 'BenchmarkXPaxosPipelinedThroughput|BenchmarkFleetThroughput|BenchmarkQuorumCertVerify' \
 		-benchtime $(BENCHTIME) -count 1 ./internal/transport/ ./internal/crypto/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_SMOKE.json \
 			-require 'xpaxos.pipeline.throughput_x.16>=1.0' \
+			-require 'fleet.scaling.throughput_x.4>=1.5' \
 			-require 'crypto.verify.cert_batch_speedup_x>=1.0'
 
 # chaos sweeps CHAOS_SEEDS seeds of the scenario fuzzer per protocol
 # and fails on the first invariant violation, printing the violating
-# seed and its replayable dump (see internal/chaos).
+# seed and its replayable dump (see internal/chaos). chaos-sharded runs
+# the sharded-partition fleet scenario the same way.
 chaos:
 	$(GO) run ./cmd/chaos -seeds $(CHAOS_SEEDS)
+
+chaos-sharded:
+	$(GO) run ./cmd/chaos -sharded -seeds $(CHAOS_SEEDS)
 
 # golden regenerates the Prometheus exposition golden file after an
 # intentional format change.

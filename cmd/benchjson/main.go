@@ -9,7 +9,7 @@
 // to stdout so the command can sit at the end of a pipe without hiding
 // the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR7.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR8.json
 //
 // Repeatable -require flags turn the report into a regression gate:
 //
@@ -76,7 +76,7 @@ func (rs *requirements) Set(s string) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR8.json", "output JSON file")
 	var reqs requirements
 	flag.Var(&reqs, "require", "derived metric bound 'key>=value' (repeatable); exit 1 if missing or below")
 	flag.Parse()
@@ -108,6 +108,7 @@ func main() {
 	deriveGraphRatios(&rep)
 	deriveBatchingSpeedup(&rep)
 	derivePipelineSweep(&rep)
+	deriveFleetScaling(&rep)
 	deriveCryptoVerify(&rep)
 	deriveWALAmortization(&rep)
 	deriveTraceOverhead(&rep)
@@ -269,6 +270,38 @@ func derivePipelineSweep(rep *Report) {
 			continue
 		}
 		rep.Derived["xpaxos.pipeline.throughput_x."+w] =
+			b.Metrics["req/s"] / base.Metrics["req/s"]
+	}
+}
+
+// deriveFleetScaling records the sharded-fleet sweep over the HMAC TCP
+// path (emulated LAN RTT): fleet.scaling.req_s.<n> is the aggregate
+// committed-request throughput with n shards on the same four
+// processes, and fleet.scaling.throughput_x.<n> the multiplier over
+// the single-group (shards=1) fleet. throughput_x.4 is the CI
+// regression gate: below 1.5 the shards have stopped committing
+// independently (serialized windows, cross-shard interference, or a
+// transport mux regression).
+func deriveFleetScaling(rep *Report) {
+	const prefix = "BenchmarkFleetThroughput/shards="
+	byShards := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, prefix) {
+			byShards[strings.TrimPrefix(b.Name, prefix)] = b
+		}
+	}
+	for n, b := range byShards {
+		rep.Derived["fleet.scaling.req_s."+n] = b.Metrics["req/s"]
+	}
+	base, ok := byShards["1"]
+	if !ok || base.Metrics["req/s"] <= 0 {
+		return
+	}
+	for n, b := range byShards {
+		if n == "1" {
+			continue
+		}
+		rep.Derived["fleet.scaling.throughput_x."+n] =
 			b.Metrics["req/s"] / base.Metrics["req/s"]
 	}
 }

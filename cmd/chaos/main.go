@@ -36,8 +36,15 @@ func main() {
 		asyncVerify = flag.Bool("async-verify", false, "route signature checks through the async-verify path")
 		metricsDump = flag.Bool("metrics-dump", false, "print the campaign's metrics in Prometheus text format after the run")
 		traceDump   = flag.String("trace-dump", "", "write the flight-recorder dump (spans + events JSON) of a replayed or violating seed to this file")
+		sharded     = flag.Bool("sharded", false, "run the sharded-partition fleet scenario instead of the generic protocol sweep")
+		shards      = flag.Int("shards", 3, "fleet width for -sharded")
 	)
 	flag.Parse()
+
+	if *sharded {
+		runSharded(*n, *f, *shards, *window, *seeds, *first, *seed, *metricsDump)
+		return
+	}
 
 	ps, err := chaos.ParseProtocols(*protocols)
 	if err != nil {
@@ -91,6 +98,45 @@ func main() {
 		fmt.Printf("flight-recorder dump written to %s\n", *traceDump)
 	}
 	if *metricsDump {
+		fmt.Println()
+		reg.WriteTo(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSharded executes (or replays) the sharded-partition scenario: a
+// fleet of XPaxos groups with shard 0's leader partitioned at the
+// envelope level while the other shards must keep committing.
+func runSharded(n, f, shards, window, seeds int, first, seed int64, metricsDump bool) {
+	reg := metrics.NewRegistry()
+	cfg := chaos.ShardedConfig{
+		N: n, F: f,
+		Shards:    shards,
+		Window:    window,
+		Seeds:     seeds,
+		FirstSeed: first,
+		Metrics:   reg,
+	}
+	failed := false
+	if seed >= 0 {
+		dump, v := chaos.ReplaySharded(cfg, seed)
+		fmt.Print(dump)
+		failed = v != nil
+	} else {
+		res := chaos.RunSharded(cfg)
+		if res.Violation != nil {
+			failed = true
+			fmt.Printf("%-10s FAIL after %d seeds: %v\n", res.Protocol, res.Seeds, res.Violation)
+			fmt.Print(res.Violation.Dump)
+			fmt.Printf("reproduce: go run ./cmd/chaos -sharded -shards %d -seed %d\n", shards, res.Violation.Seed)
+		} else {
+			fmt.Printf("%-10s ok  %d seeds (%d..%d), no violations\n",
+				res.Protocol, res.Seeds, first, first+int64(res.Seeds)-1)
+		}
+	}
+	if metricsDump {
 		fmt.Println()
 		reg.WriteTo(os.Stdout)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,17 +18,23 @@ import (
 // frontend is the client-facing HTTP API of one XPaxos server:
 //
 //	POST /submit          body = operation; returns the execution result
-//	GET  /status          JSON: view, leader, quorum, executed slots
-//	GET  /kv?key=k        read a key from the local state machine
+//	GET  /status          JSON: per-shard view, leader, quorum, executed
+//	GET  /kv?key=k        read a key from the owning shard's state machine
 //	GET  /metrics         Prometheus text exposition of the host registry
 //	GET  /events?since=N  JSON: protocol events with Seq > N
 //
+// With a fleet (-shards > 1) the frontend routes every operation to
+// its owning shard through the deterministic consistent-hash router —
+// the key is the second whitespace field of the operation ("set k v",
+// "get k"), falling back to the whole operation — so every frontend in
+// the cluster computes the same placement with no coordination.
 // Submissions are assigned client/sequence numbers per frontend; the
 // handler blocks (with a timeout) until the operation executes locally.
 type frontend struct {
-	host    *qs.Host
-	replica *qs.XPaxosReplica
-	kv      *qs.KVMachine
+	host     *qs.Host
+	replicas []*qs.XPaxosReplica // indexed by shard
+	kvs      []*qs.KVMachine
+	router   *qs.ShardRouter
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -35,19 +42,30 @@ type frontend struct {
 	waiters map[uint64]chan []byte // seq → result
 }
 
-func newFrontend(host *qs.Host, replica *qs.XPaxosReplica, kv *qs.KVMachine, clientID uint64) *frontend {
+func newFrontend(host *qs.Host, replicas []*qs.XPaxosReplica, kvs []*qs.KVMachine, clientID uint64) *frontend {
 	return &frontend{
-		host:    host,
-		replica: replica,
-		kv:      kv,
-		client:  clientID,
-		waiters: make(map[uint64]chan []byte),
+		host:     host,
+		replicas: replicas,
+		kvs:      kvs,
+		router:   qs.NewShardRouter(len(replicas)),
+		client:   clientID,
+		waiters:  make(map[uint64]chan []byte),
 	}
 }
 
-// onExecute is wired into the replica's OnExecute hook (called on the
-// host's event loop).
-func (f *frontend) onExecute(e qs.Execution) {
+// shardFor routes an operation to its owning shard by key.
+func (f *frontend) shardFor(op []byte) int {
+	key := string(op)
+	if fields := strings.Fields(key); len(fields) >= 2 {
+		key = fields[1]
+	}
+	return f.router.RouteString(key)
+}
+
+// onExecute is wired into every shard replica's OnExecute hook (called
+// on the host's event loop). Sequence numbers are assigned per
+// frontend, so they are unique across the shards it submitted to.
+func (f *frontend) onExecute(_ int, e qs.Execution) {
 	if e.Client != f.client {
 		return
 	}
@@ -79,8 +97,9 @@ func (f *frontend) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	f.waiters[seq] = ch
 	f.mu.Unlock()
 
+	replica := f.replicas[f.shardFor(op)]
 	f.host.Do(func() {
-		f.replica.Submit(&wire.Request{Client: f.client, Seq: seq, Op: op})
+		replica.Submit(&wire.Request{Client: f.client, Seq: seq, Op: op})
 	})
 	select {
 	case result := <-ch:
@@ -95,21 +114,33 @@ func (f *frontend) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (f *frontend) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	var status struct {
+	type shardStatus struct {
+		Shard    int      `json:"shard"`
 		View     uint64   `json:"view"`
 		Leader   string   `json:"leader"`
 		IsLeader bool     `json:"is_leader"`
 		Quorum   []string `json:"quorum"`
 		Executed uint64   `json:"executed"`
 	}
+	var status struct {
+		Shards int           `json:"shards"`
+		Groups []shardStatus `json:"groups"`
+	}
+	status.Shards = len(f.replicas)
 	f.host.Do(func() {
-		status.View = f.replica.View()
-		status.Leader = f.replica.Leader().String()
-		status.IsLeader = f.replica.IsLeader()
-		for _, p := range f.replica.ActiveQuorum().Members {
-			status.Quorum = append(status.Quorum, p.String())
+		for s, replica := range f.replicas {
+			st := shardStatus{
+				Shard:    s,
+				View:     replica.View(),
+				Leader:   replica.Leader().String(),
+				IsLeader: replica.IsLeader(),
+				Executed: replica.LastExecuted(),
+			}
+			for _, p := range replica.ActiveQuorum().Members {
+				st.Quorum = append(st.Quorum, p.String())
+			}
+			status.Groups = append(status.Groups, st)
 		}
-		status.Executed = f.replica.LastExecuted()
 	})
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(status)
@@ -121,9 +152,10 @@ func (f *frontend) handleKV(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?key=", http.StatusBadRequest)
 		return
 	}
+	kv := f.kvs[f.router.RouteString(key)]
 	var value string
 	var ok bool
-	f.host.Do(func() { value, ok = f.kv.Get(key) })
+	f.host.Do(func() { value, ok = kv.Get(key) })
 	if !ok {
 		http.Error(w, "not found", http.StatusNotFound)
 		return

@@ -11,9 +11,19 @@
 //
 //	xpaxos -id 1 -peers ... -f 1 -secret s3cret -data-dir ./data/p1
 //
+// Add -shards N to run a fleet of N independent replication groups on
+// the same process set: one consistent-hash router partitions the
+// keyspace, all shards share this process's single connection per peer
+// (wire.ShardEnvelope multiplexing), each shard persists into its own
+// sub-tree of -data-dir and recovers independently, and shard leaders
+// are staggered across processes:
+//
+//	xpaxos -id 1 -peers ... -f 1 -secret s3cret -shards 4 -data-dir ./data/p1
+//
 // Local mode — the whole cluster in one process (demo):
 //
 //	xpaxos -local -n 4 -f 1 -requests 10
+//	xpaxos -local -n 4 -f 1 -shards 4 -requests 20
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	qs "quorumselect"
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs/tracer"
 	"quorumselect/internal/wire"
 )
@@ -41,6 +52,7 @@ func main() {
 	secret := flag.String("secret", "quorumselect-dev", "shared HMAC master secret")
 	auth := flag.String("auth", "hmac", "authenticator: hmac (uses -secret), ed25519 (deterministic demo keyring), nop (no authentication; benchmarks only)")
 	window := flag.Int("window", 16, "leader commit-window depth: slots in flight before client batches pool in the mempool (0 = unbounded)")
+	shards := flag.Int("shards", 1, "independent replication groups to run as a fleet (1 = plain single group)")
 	local := flag.Bool("local", false, "run the whole cluster in this process")
 	requests := flag.Int("requests", 10, "requests to submit in local mode")
 	dataDir := flag.String("data-dir", "", "durable state directory (empty: run in-memory); each process needs its own")
@@ -50,11 +62,14 @@ func main() {
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
+	if *shards < 1 {
+		log.Fatalf("-shards %d: need at least one shard", *shards)
+	}
 	if *local {
-		runLocal(*n, *f, *secret, *auth, *window, *requests, *dataDir, *verbose)
+		runLocal(*n, *f, *secret, *auth, *window, *shards, *requests, *dataDir, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *auth, *window, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *auth, *window, *shards, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
 }
 
 // makeAuth builds the wire authenticator selected by -auth. The
@@ -75,29 +90,86 @@ func makeAuth(kind string, cfg qs.Config, secret string) (qs.Authenticator, erro
 	}
 }
 
+// shardLeader returns the initial-leader process of a shard under the
+// fleet's stagger: shards cycle across the processes that can lead
+// (the heads of the quorum enumeration, 1..n-q+1).
+func shardLeader(cfg qs.Config, shard int) qs.ProcessID {
+	leadable := cfg.N - cfg.Q() + 1
+	return qs.ProcessID(shard%leadable + 1)
+}
+
+// buildHost composes one process — a single XPaxos group, or a fleet
+// of shards independent groups — over a TCP host. The returned slices
+// are indexed by shard (length 1 when shards == 1, where the node is
+// wired bare for wire compatibility with non-fleet deployments).
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
-	listen string, secret, auth string, window int, dataDir string, verbose bool, onExec func(qs.Execution)) (*qs.Host, *qs.XPaxosReplica, *qs.KVMachine, error) {
-	nodeOpts := qs.DefaultNodeOptions()
-	nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
+	listen string, secret, auth string, window, shards int, dataDir string, verbose bool,
+	onExec func(shard int, e qs.Execution)) (*qs.Host, []*qs.XPaxosReplica, []*qs.KVMachine, error) {
+	var root qs.StorageBackend
 	if dataDir != "" {
 		backend, err := qs.NewDirStorage(dataDir)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("open data dir: %w", err)
 		}
-		nodeOpts.Storage = backend
+		root = backend
 	}
-	kv := qs.NewKVMachine()
-	node, replica := qs.NewXPaxosNode(qs.XPaxosOptions{
-		SM:                 kv,
-		CheckpointInterval: 100,
-		Window:             window,
-		OnExecute: func(e qs.Execution) {
-			fmt.Printf("[%s] executed %s -> %q\n", p, e, e.Result)
-			if onExec != nil {
-				onExec(e)
+	replicas := make([]*qs.XPaxosReplica, shards)
+	kvs := make([]*qs.KVMachine, shards)
+	var buildErr error
+	newShard := func(s int) qs.RuntimeNode {
+		nodeOpts := qs.DefaultNodeOptions()
+		nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
+		if root != nil {
+			st := root
+			if shards > 1 {
+				sub, err := qs.SubStorage(root, fmt.Sprintf("shard-%d", s))
+				if err != nil {
+					buildErr = fmt.Errorf("shard %d storage: %w", s, err)
+					return nil
+				}
+				st = sub
 			}
-		},
-	}, nodeOpts)
+			nodeOpts.Storage = st
+		}
+		var initialView uint64
+		if shards > 1 {
+			v, ok := qs.FirstViewLedBy(cfg, shardLeader(cfg, s))
+			if !ok {
+				buildErr = fmt.Errorf("shard %d: no view led by %s", s, shardLeader(cfg, s))
+				return nil
+			}
+			initialView = v
+		}
+		kv := qs.NewKVMachine()
+		tag := ""
+		if shards > 1 {
+			tag = fmt.Sprintf("/s%d", s)
+		}
+		node, replica := qs.NewXPaxosNode(qs.XPaxosOptions{
+			SM:                 kv,
+			CheckpointInterval: 100,
+			Window:             window,
+			InitialView:        initialView,
+			OnExecute: func(e qs.Execution) {
+				fmt.Printf("[%s%s] executed %s -> %q\n", p, tag, e, e.Result)
+				if onExec != nil {
+					onExec(s, e)
+				}
+			},
+		}, nodeOpts)
+		replicas[s] = replica
+		kvs[s] = kv
+		return node
+	}
+	var node qs.RuntimeNode
+	if shards > 1 {
+		node = qs.NewFleet(qs.FleetOptions{Shards: shards, NewShard: newShard})
+	} else {
+		node = newShard(0)
+	}
+	if buildErr != nil {
+		return nil, nil, nil, buildErr
+	}
 	var logger qs.Logger = logging.Nop
 	if verbose {
 		logger = logging.NewWriterLogger(os.Stdout, logging.LevelDebug)
@@ -116,10 +188,10 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 		Tracer:     qs.NewTracer(0),
 		Seed:       int64(p),
 	}, node)
-	return host, replica, kv, err
+	return host, replicas, kvs, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, auth string, window int, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, auth string, window, shards int, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -151,20 +223,33 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window int,
 		tracer.SetCrashWriter(fw)
 	}
 
+	// Per-shard execution gauges are refreshed from the execute hook;
+	// the registry pointer is bound once the host is up (executions
+	// only happen after the host loop starts).
 	var fe *frontend
-	host, replica, kv, err := buildHost(self, cfg, addrs, listen, secret, auth, window, dataDir, verbose,
-		func(e qs.Execution) {
+	var reg *qs.Registry
+	host, replicas, kvs, err := buildHost(self, cfg, addrs, listen, secret, auth, window, shards, dataDir, verbose,
+		func(s int, e qs.Execution) {
+			if reg != nil {
+				reg.SetGauge("fleet.shard.executed", float64(e.Slot),
+					metrics.L{Key: "shard", Value: fmt.Sprintf("%d", s)})
+			}
 			if fe != nil {
-				fe.onExecute(e)
+				fe.onExecute(s, e)
 			}
 		})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer host.Close()
-	fmt.Printf("xpaxos %s listening on %s (%s)\n", self, host.Addr(), cfg)
+	reg = host.Metrics()
+	if shards > 1 {
+		fmt.Printf("xpaxos %s listening on %s (%s, %d shards)\n", self, host.Addr(), cfg, shards)
+	} else {
+		fmt.Printf("xpaxos %s listening on %s (%s)\n", self, host.Addr(), cfg)
+	}
 	if httpAddr != "" {
-		fe = newFrontend(host, replica, kv, uint64(self))
+		fe = newFrontend(host, replicas, kvs, uint64(self))
 		srv := serveHTTP(httpAddr, fe)
 		defer srv.Close()
 		fmt.Printf("http frontend on %s (POST /submit, GET /status, GET /kv?key=..., GET /metrics, GET /events?since=N, GET /trace[?format=chrome])\n", httpAddr)
@@ -192,25 +277,25 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window int,
 	os.Exit(0)
 }
 
-func runLocal(n, f int, secret, auth string, window, requests int, dataDir string, verbose bool) {
+func runLocal(n, f int, secret, auth string, window, shards, requests int, dataDir string, verbose bool) {
 	cfg, err := qs.NewConfig(n, f)
 	if err != nil {
 		log.Fatal(err)
 	}
 	hosts := make(map[qs.ProcessID]*qs.Host, cfg.N)
-	replicas := make(map[qs.ProcessID]*qs.XPaxosReplica, cfg.N)
+	replicas := make(map[qs.ProcessID][]*qs.XPaxosReplica, cfg.N)
 	for _, p := range cfg.All() {
 		dir := ""
 		if dataDir != "" {
 			// Each process persists into its own subdirectory.
 			dir = fmt.Sprintf("%s/p%d", dataDir, p)
 		}
-		host, replica, _, err := buildHost(p, cfg, nil, "", secret, auth, window, dir, verbose, nil)
+		host, reps, _, err := buildHost(p, cfg, nil, "", secret, auth, window, shards, dir, verbose, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		hosts[p] = host
-		replicas[p] = replica
+		replicas[p] = reps
 	}
 	for _, p := range cfg.All() {
 		for _, q := range cfg.All() {
@@ -225,30 +310,56 @@ func runLocal(n, f int, secret, auth string, window, requests int, dataDir strin
 		}
 	}()
 
-	fmt.Printf("local cluster up (%s); submitting %d requests\n", cfg, requests)
+	// Requests are routed across shards by key through the same
+	// consistent-hash router the HTTP frontend uses, each submitted at
+	// its shard's initial leader.
+	router := qs.NewShardRouter(shards)
+	fmt.Printf("local cluster up (%s, %d shards); submitting %d requests\n", cfg, shards, requests)
+	perShard := make([]uint64, shards)
 	for i := 1; i <= requests; i++ {
-		seq := uint64(i)
-		op := fmt.Sprintf("set key%d value%d", i, i)
-		hosts[1].Do(func() {
-			replicas[1].Submit(&wire.Request{Client: 1, Seq: seq, Op: []byte(op)})
+		key := fmt.Sprintf("key%d", i)
+		s := router.RouteString(key)
+		lead := shardLeader(cfg, s)
+		perShard[s]++
+		seq := perShard[s]
+		op := fmt.Sprintf("set %s value%d", key, i)
+		rep := replicas[lead][s]
+		hosts[lead].Do(func() {
+			rep.Submit(&wire.Request{Client: uint64(100 + s), Seq: seq, Op: []byte(op)})
 		})
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		var done uint64
-		hosts[1].Do(func() { done = replicas[1].LastExecuted() })
-		if done >= uint64(requests) {
+		done := true
+		for s := 0; s < shards; s++ {
+			lead := shardLeader(cfg, s)
+			rep := replicas[lead][s]
+			var exec uint64
+			hosts[lead].Do(func() { exec = rep.LastExecuted() })
+			if exec < perShard[s] {
+				done = false
+				break
+			}
+		}
+		if done {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	for _, p := range cfg.All() {
-		var exec uint64
-		var quorum qs.Quorum
-		hosts[p].Do(func() {
-			exec = replicas[p].LastExecuted()
-			quorum = replicas[p].ActiveQuorum()
-		})
-		fmt.Printf("%s: executed=%d quorum=%s\n", p, exec, quorum)
+		for s := 0; s < shards; s++ {
+			rep := replicas[p][s]
+			var exec uint64
+			var quorum qs.Quorum
+			hosts[p].Do(func() {
+				exec = rep.LastExecuted()
+				quorum = rep.ActiveQuorum()
+			})
+			if shards > 1 {
+				fmt.Printf("%s/s%d: executed=%d quorum=%s\n", p, s, exec, quorum)
+			} else {
+				fmt.Printf("%s: executed=%d quorum=%s\n", p, exec, quorum)
+			}
+		}
 	}
 }

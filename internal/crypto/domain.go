@@ -1,0 +1,63 @@
+package crypto
+
+import "quorumselect/internal/ids"
+
+// DomainAuth wraps an Authenticator with domain separation: every sign
+// and verify runs over domain || 0x00 || data instead of the raw data.
+// Two DomainAuths over the same inner ring but different domains accept
+// none of each other's signatures, which is how the fleet keeps shard
+// groups cryptographically disjoint: a frame signed for shard 2 and
+// misrouted to shard 5 fails verification there even though both shards
+// share one keyring per process.
+//
+// The NUL terminator makes the wrapping injective as long as domains
+// themselves contain no NUL byte (enforced by NewDomainAuth): no
+// (domain, data) pair collides with any other, so domain separation
+// never weakens the inner authenticator.
+type DomainAuth struct {
+	inner  Authenticator
+	prefix []byte // domain || 0x00
+}
+
+var _ Authenticator = (*DomainAuth)(nil)
+
+// NewDomainAuth wraps inner under the given domain. Domains must be
+// non-empty and NUL-free; violating either panics (a misconfigured
+// domain is a programming error, not a runtime condition).
+func NewDomainAuth(inner Authenticator, domain string) *DomainAuth {
+	if domain == "" {
+		panic("crypto: empty signing domain")
+	}
+	for i := 0; i < len(domain); i++ {
+		if domain[i] == 0 {
+			panic("crypto: signing domain contains NUL")
+		}
+	}
+	prefix := make([]byte, 0, len(domain)+1)
+	prefix = append(prefix, domain...)
+	prefix = append(prefix, 0)
+	return &DomainAuth{inner: inner, prefix: prefix}
+}
+
+// Inner returns the wrapped authenticator.
+func (a *DomainAuth) Inner() Authenticator { return a.inner }
+
+// Wrap returns domain || 0x00 || data — the bytes the inner
+// authenticator actually signs. Callers that hand verification work to
+// a raw pool (runtime.RawAsyncVerifier) wrap explicitly and verify
+// against the inner ring.
+func (a *DomainAuth) Wrap(data []byte) []byte {
+	out := make([]byte, 0, len(a.prefix)+len(data))
+	out = append(out, a.prefix...)
+	return append(out, data...)
+}
+
+// Sign implements Authenticator.
+func (a *DomainAuth) Sign(as ids.ProcessID, data []byte) ([]byte, error) {
+	return a.inner.Sign(as, a.Wrap(data))
+}
+
+// Verify implements Authenticator.
+func (a *DomainAuth) Verify(signer ids.ProcessID, data []byte, sig []byte) error {
+	return a.inner.Verify(signer, a.Wrap(data), sig)
+}

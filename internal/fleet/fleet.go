@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/logging"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
+	"quorumselect/internal/obs/tracer"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/wire"
+)
+
+// ShardDomain returns the signing domain of one shard group. Every
+// signature a shard produces or accepts is domain-separated under it
+// (crypto.DomainAuth), which is what makes the unsigned routing label
+// on wire.ShardEnvelope safe: a frame relabeled to another shard fails
+// that shard's verification and dies at the failure detector's
+// drop-and-count path instead of becoming protocol input.
+func ShardDomain(shard int) string { return fmt.Sprintf("qs/shard/%d", shard) }
+
+// Options configures a Fleet.
+type Options struct {
+	// Shards is the number of independent replication groups (>= 1).
+	Shards int
+	// NewShard builds the protocol node of one shard group — typically
+	// a full core.Node over xpaxos with that shard's storage sub-tree
+	// and a staggered InitialView. Called once per shard at New.
+	NewShard func(shard int) runtime.Node
+}
+
+// Fleet runs Options.Shards independent shard kernels behind one
+// runtime.Node: one transport connection per peer pair carries every
+// shard's traffic (wire.ShardEnvelope multiplexing), and each shard
+// sees a shard-scoped Env — domain-separated authenticator, tagged
+// logger, shared clock, loop, and metrics registry.
+type Fleet struct {
+	opts   Options
+	env    runtime.Env
+	nodes  []runtime.Node
+	shards []*shardEnv
+}
+
+var (
+	_ runtime.Node         = (*Fleet)(nil)
+	_ runtime.Stopper      = (*Fleet)(nil)
+	_ runtime.FreshStarter = (*Fleet)(nil)
+)
+
+// New builds an unstarted fleet; the simulator or transport calls
+// Init. It panics on a shard count < 1 or a missing factory — both
+// programming errors.
+func New(opts Options) *Fleet {
+	if opts.Shards < 1 {
+		panic(fmt.Sprintf("fleet: need >= 1 shard, got %d", opts.Shards))
+	}
+	if opts.NewShard == nil {
+		panic("fleet: Options.NewShard is required")
+	}
+	f := &Fleet{opts: opts, nodes: make([]runtime.Node, opts.Shards)}
+	for s := range f.nodes {
+		f.nodes[s] = opts.NewShard(s)
+	}
+	return f
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return f.opts.Shards }
+
+// Shard returns shard s's protocol node (for frontends and tests that
+// need the underlying replica; all interaction must stay on the
+// process's event loop, as with any node).
+func (f *Fleet) Shard(s int) runtime.Node { return f.nodes[s] }
+
+// Init implements runtime.Node: every shard kernel is initialized with
+// its shard-scoped environment, in shard order, on the caller's loop.
+// Re-Init after a crash is per-shard recovery in the same order: each
+// kernel reopens its own storage sub-tree independently, so one
+// shard's corrupt state never blocks its siblings' recovery.
+func (f *Fleet) Init(env runtime.Env) {
+	f.bind(env)
+	for s, n := range f.nodes {
+		n.Init(f.shards[s])
+	}
+	env.Metrics().SetGauge("fleet.shards", float64(f.opts.Shards))
+}
+
+// InitFresh implements runtime.FreshStarter: shards that can wipe do,
+// the rest Init normally.
+func (f *Fleet) InitFresh(env runtime.Env) {
+	f.bind(env)
+	for s, n := range f.nodes {
+		if fs, ok := n.(runtime.FreshStarter); ok {
+			fs.InitFresh(f.shards[s])
+		} else {
+			n.Init(f.shards[s])
+		}
+	}
+	env.Metrics().SetGauge("fleet.shards", float64(f.opts.Shards))
+}
+
+func (f *Fleet) bind(env runtime.Env) {
+	f.env = env
+	f.shards = make([]*shardEnv, f.opts.Shards)
+	for s := range f.shards {
+		f.shards[s] = &shardEnv{
+			shard: s,
+			outer: env,
+			auth:  crypto.NewDomainAuth(env.Auth(), ShardDomain(s)),
+			log:   logging.Tagged(env.Logger(), fmt.Sprintf("s%d", s)),
+			label: metrics.L{Key: "shard", Value: fmt.Sprintf("%d", s)},
+		}
+	}
+}
+
+// Receive implements runtime.Node: demultiplex one envelope to its
+// shard. Anything else is dropped and counted — correct fleet peers
+// wrap every frame, so bare traffic is a mis-deployment (a non-fleet
+// process dialed in) or line garbage, never protocol input. An
+// envelope naming a shard this fleet does not run is counted as
+// misrouted; an in-range envelope is handed to its shard, where a
+// relabeled frame still dies at the shard's domain-separated signature
+// check (fd.dropped.badsig).
+func (f *Fleet) Receive(from ids.ProcessID, m wire.Message) {
+	env, ok := m.(*wire.ShardEnvelope)
+	if !ok {
+		f.env.Metrics().Inc("fleet.unwrapped.dropped", 1)
+		f.env.Logger().Logf(logging.LevelDebug, "fleet: dropping bare %s from %s", m.Kind(), from)
+		return
+	}
+	if int(env.Shard) >= len(f.nodes) || int(env.Shard) < 0 {
+		f.env.Metrics().Inc("fleet.misrouted.dropped", 1)
+		f.env.Logger().Logf(logging.LevelDebug, "fleet: dropping frame for unknown shard %d from %s", env.Shard, from)
+		return
+	}
+	inner, err := wire.Decode(env.Frame)
+	if err != nil {
+		f.env.Metrics().Inc("fleet.decode.errors", 1)
+		return
+	}
+	se := f.shards[env.Shard]
+	f.env.Metrics().IncLabeled("fleet.shard.received", 1, se.label)
+	f.nodes[env.Shard].Receive(from, inner)
+}
+
+// Stop implements runtime.Stopper: tear every shard kernel down.
+func (f *Fleet) Stop() {
+	for _, n := range f.nodes {
+		runtime.StopNode(n)
+	}
+}
+
+// shardEnv is the Env one shard kernel runs against: the outer
+// process Env with shard-wrapped sending, a domain-separated
+// authenticator, and a shard-tagged logger. Clock, loop, randomness,
+// events, tracer, and metrics registry are shared across the
+// process's shards, so cross-shard event order stays a deterministic
+// property of the one loop.
+type shardEnv struct {
+	shard int
+	outer runtime.Env
+	auth  *crypto.DomainAuth
+	log   logging.Logger
+	label metrics.L
+}
+
+var (
+	_ runtime.Env           = (*shardEnv)(nil)
+	_ runtime.AsyncVerifier = (*shardEnv)(nil)
+	_ runtime.BatchVerifier = (*shardEnv)(nil)
+)
+
+func (e *shardEnv) ID() ids.ProcessID          { return e.outer.ID() }
+func (e *shardEnv) Config() ids.Config         { return e.outer.Config() }
+func (e *shardEnv) Now() time.Duration         { return e.outer.Now() }
+func (e *shardEnv) Rand() *rand.Rand           { return e.outer.Rand() }
+func (e *shardEnv) Auth() crypto.Authenticator { return e.auth }
+func (e *shardEnv) Logger() logging.Logger     { return e.log }
+func (e *shardEnv) Metrics() *metrics.Registry { return e.outer.Metrics() }
+func (e *shardEnv) Events() *obs.Bus           { return e.outer.Events() }
+func (e *shardEnv) Tracer() *tracer.Tracer     { return e.outer.Tracer() }
+
+func (e *shardEnv) After(d time.Duration, fn func()) runtime.Timer {
+	return e.outer.After(d, fn)
+}
+
+// Send wraps the frame in this shard's envelope. The inner encoding is
+// pooled: the outer Send copies it into the transport frame (or the
+// simulator's delivery buffer) synchronously, so it is recycled on
+// return.
+func (e *shardEnv) Send(to ids.ProcessID, m wire.Message) {
+	frame := wire.EncodePooled(m)
+	e.outer.Metrics().IncLabeled("fleet.shard.sent", 1, e.label)
+	e.outer.Send(to, &wire.ShardEnvelope{Shard: uint32(e.shard), Frame: frame})
+	wire.Recycle(frame)
+}
+
+// VerifyAsync implements runtime.AsyncVerifier by handing the
+// domain-wrapped bytes to the outer environment's raw verifier (the
+// TCP host's worker pool, the simulator's virtual-time completion).
+// False — verify synchronously, against e.auth — when the outer Env
+// has no raw path.
+func (e *shardEnv) VerifyAsync(m wire.Signed, done func(error)) bool {
+	raw, ok := e.outer.(runtime.RawAsyncVerifier)
+	if !ok {
+		return false
+	}
+	return raw.VerifyRawAsync(m.Signer(), e.auth.Wrap(m.SigBytes()), m.Signature(), done)
+}
+
+// VerifyBatch implements runtime.BatchVerifier the same way: wrap
+// every item into this shard's domain, then let the outer pool
+// deduplicate and fan out.
+func (e *shardEnv) VerifyBatch(items []crypto.BatchItem) []error {
+	bv, ok := e.outer.(runtime.BatchVerifier)
+	if !ok {
+		return nil
+	}
+	wrapped := make([]crypto.BatchItem, len(items))
+	for i, it := range items {
+		wrapped[i] = crypto.BatchItem{Signer: it.Signer, Data: e.auth.Wrap(it.Data), Sig: it.Sig}
+	}
+	return bv.VerifyBatch(wrapped)
+}

@@ -1,0 +1,146 @@
+// Package fleet scales the single replication group horizontally: N
+// independent replica-host kernels (shards) run side by side on the
+// same process set, each with its own failure detector, suspicion
+// store, quorum-selection instance, and WAL sub-tree, behind a
+// consistent-hash ingress router that partitions the client keyspace.
+//
+// One Fleet is one runtime.Node, so all shards of a replica pair share
+// a single transport connection: outbound frames are wrapped in
+// wire.ShardEnvelope (the shard number rides outside signature
+// coverage, like TraceContext) and demultiplexed at the receiver.
+// Safety never trusts the routing label — every shard signs under its
+// own domain (crypto.DomainAuth), so a frame misrouted to the wrong
+// shard fails verification there and is dropped and counted. All
+// shards share the process's one event loop; throughput scales because
+// each shard pipelines its own commit window and shard leaders are
+// staggered across processes (xpaxos.Options.InitialView), not because
+// of added parallelism within a process.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is the number of ring points per shard: enough that
+// per-shard keyspace shares concentrate near 1/N (the balance test
+// pins the spread), few enough that building a router stays trivial.
+const defaultVnodes = 128
+
+// Router is the consistent-hash ingress router: a deterministic
+// key → shard map with the standard minimal-remapping property — when
+// the shard count grows from N to N+1, the only keys that change
+// owner are those claimed by the new shard (an expected 1/(N+1)
+// fraction), so a resharded deployment invalidates almost none of its
+// placement.
+//
+// Routing is pure configuration: every frontend building a Router
+// with the same shard count computes the same map, with no seed or
+// coordination. It is NOT part of the trusted core — a client that
+// routes wrong is exactly a client that submitted to the wrong shard,
+// and the shards' domain-separated signatures keep that from ever
+// corrupting another group's log.
+type Router struct {
+	shards int
+	ring   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRouter builds the router for the given shard count with the
+// default virtual-node fan-out. It panics on counts < 1 (a fleet has
+// at least one shard).
+func NewRouter(shards int) *Router {
+	return NewRouterVnodes(shards, defaultVnodes)
+}
+
+// NewRouterVnodes builds a router with an explicit virtual-node count
+// per shard (tests use small counts to exaggerate imbalance).
+func NewRouterVnodes(shards, vnodes int) *Router {
+	if shards < 1 {
+		panic(fmt.Sprintf("fleet: router needs >= 1 shard, got %d", shards))
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Router{shards: shards, ring: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv1a([]byte(fmt.Sprintf("shard-%d/vnode-%d", s, v)))
+			r.ring = append(r.ring, ringPoint{hash: h, shard: s})
+		}
+	}
+	// Sort by hash; break (astronomically unlikely) collisions by shard
+	// so the ring order is a pure function of (shards, vnodes).
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].hash != r.ring[j].hash {
+			return r.ring[i].hash < r.ring[j].hash
+		}
+		return r.ring[i].shard < r.ring[j].shard
+	})
+	return r
+}
+
+// Shards returns the configured shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Route maps a client key to its owning shard: the first ring point at
+// or after the key's hash, wrapping past the top of the ring.
+func (r *Router) Route(key []byte) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// RouteString is Route for string keys, allocation-free.
+func (r *Router) RouteString(key string) int {
+	h := fnv1aString(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// fnv1a is the 64-bit FNV-1a hash pushed through a splitmix64-style
+// avalanche finalizer. FNV is stable across processes and Go versions
+// (unlike hash/maphash) and cheap, but on short keys with shared
+// prefixes its raw output clusters badly in the high bits the ring
+// search compares; the finalizer spreads every input bit across the
+// word. Nothing here is adversarial — a client hunting hash collisions
+// only overloads the shard it itself submits to.
+func fnv1a(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+func fnv1aString(data string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(data); i++ {
+		h ^= uint64(data[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer (Vigna): an invertible avalanche,
+// so it loses none of FNV's distinctions while decorrelating adjacent
+// inputs.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRouterBalance pins the keyspace spread: with the default
+// virtual-node fan-out, every shard's share of a large uniform key set
+// stays within ±35% of the 1/N mean. The hash and key set are fixed,
+// so this is a deterministic bound, not a statistical one.
+func TestRouterBalance(t *testing.T) {
+	const keys = 20000
+	for _, shards := range []int{2, 4, 8} {
+		r := NewRouter(shards)
+		counts := make([]int, shards)
+		for i := 0; i < keys; i++ {
+			counts[r.RouteString(fmt.Sprintf("key-%d", i))]++
+		}
+		mean := float64(keys) / float64(shards)
+		for s, c := range counts {
+			if ratio := float64(c) / mean; ratio < 0.65 || ratio > 1.35 {
+				t.Errorf("shards=%d: shard %d holds %d keys (%.2f of mean); counts %v",
+					shards, s, c, ratio, counts)
+			}
+		}
+	}
+}
+
+// TestRouterDeterministic: routing is pure configuration. Two routers
+// with the same shard count agree on every key — including keys drawn
+// from a seeded replay generator, the way chaos workloads produce
+// them — and byte/string routing agree.
+func TestRouterDeterministic(t *testing.T) {
+	a, b := NewRouter(4), NewRouter(4)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("client-%d/op-%d", rng.Intn(100), rng.Int63())
+		sa, sb := a.RouteString(key), b.RouteString(key)
+		if sa != sb {
+			t.Fatalf("routers disagree on %q: %d vs %d", key, sa, sb)
+		}
+		if sc := a.Route([]byte(key)); sc != sa {
+			t.Fatalf("Route/RouteString disagree on %q: %d vs %d", key, sc, sa)
+		}
+		if sa < 0 || sa >= 4 {
+			t.Fatalf("key %q routed outside 0..3: %d", key, sa)
+		}
+	}
+}
+
+// TestRouterMinimalRemapping pins consistent hashing's contract when
+// the fleet grows from N to N+1 shards: every key that changes owner
+// moves TO the new shard (never between surviving shards), and the
+// moved fraction stays near the ideal 1/(N+1).
+func TestRouterMinimalRemapping(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 2, 4, 7} {
+		before, after := NewRouter(n), NewRouter(n+1)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			was, is := before.RouteString(key), after.RouteString(key)
+			if was == is {
+				continue
+			}
+			if is != n {
+				t.Fatalf("n=%d→%d: key %q moved between surviving shards %d→%d", n, n+1, key, was, is)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(keys)
+		ideal := 1.0 / float64(n+1)
+		if frac > 1.6*ideal {
+			t.Errorf("n=%d→%d: %.3f of keys moved, ideal %.3f", n, n+1, frac, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d→%d: no keys moved to the new shard", n, n+1)
+		}
+	}
+}

@@ -155,6 +155,20 @@ func VerifyAsync(env Env, m wire.Signed, done func(error)) bool {
 	return false
 }
 
+// RawAsyncVerifier is the raw-bytes form of AsyncVerifier: the
+// environment verifies an explicit (signer, data, sig) triple off the
+// loop, with the same delivery contract (done(err) runs as a loop
+// event). Wrapping environments that rewrite the signed bytes before
+// verification — the fleet's per-shard domain separation — need it:
+// they cannot hand the wrapped bytes to VerifyAsync, whose input is
+// the message itself.
+type RawAsyncVerifier interface {
+	// VerifyRawAsync starts verification and reports whether it was
+	// accepted; false means done was NOT called and the caller must
+	// verify synchronously.
+	VerifyRawAsync(signer ids.ProcessID, data, sig []byte, done func(error)) bool
+}
+
 // BatchVerifier is the optional batched-verification extension of Env:
 // all items of one pass are checked together (deduplicated and fanned
 // out across CPUs on the TCP host), blocking until the whole batch is

@@ -528,10 +528,19 @@ var _ runtime.AsyncVerifier = (*procEnv)(nil)
 // other arrivals" schedule the TCP worker pool produces — with event
 // ordering still a pure function of the seed.
 func (e *procEnv) VerifyAsync(m wire.Signed, done func(error)) bool {
+	return e.VerifyRawAsync(m.Signer(), m.SigBytes(), m.Signature(), done)
+}
+
+var _ runtime.RawAsyncVerifier = (*procEnv)(nil)
+
+// VerifyRawAsync implements runtime.RawAsyncVerifier under the same
+// virtual-time model as VerifyAsync, for callers that rewrite the
+// verified bytes (the fleet's per-shard signing domains).
+func (e *procEnv) VerifyRawAsync(signer ids.ProcessID, data, sig []byte, done func(error)) bool {
 	if !e.net.opts.AsyncVerify {
 		return false
 	}
-	err := e.net.opts.Auth.Verify(m.Signer(), m.SigBytes(), m.Signature())
+	err := e.net.opts.Auth.Verify(signer, data, sig)
 	e.After(0, func() { done(err) })
 	return true
 }

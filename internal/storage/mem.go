@@ -32,6 +32,10 @@ type MemBackend struct {
 	// the power cut. See SetVolatileMetadata.
 	volatileMeta bool
 	metaUndo     []func()
+
+	// children are the live sub-trees carved out with Sub; Crash
+	// cascades into them (all shards of a process share its power cut).
+	children map[string]*MemBackend
 }
 
 type memFileData struct {
@@ -62,6 +66,9 @@ func (b *MemBackend) Crash() {
 	}
 	b.gen++
 	b.crashes++
+	for _, child := range b.children {
+		child.Crash()
+	}
 }
 
 // Crashes returns how many times Crash has been called.

@@ -276,6 +276,7 @@ func (h *Host) acceptLoop() {
 			}
 			continue
 		}
+		h.cfg.Metrics.Inc("transport.conns.accepted", 1)
 		h.wg.Add(1)
 		go h.readLoop(conn)
 	}
@@ -538,6 +539,9 @@ func (w *peerWriter) dial() net.Conn {
 		conn.Close()
 		return nil
 	}
+	// One counter tick per established outbound connection: the fleet's
+	// mux test pins R×N shard traffic to exactly n-1 of these per host.
+	w.h.cfg.Metrics.Inc("transport.conns.dialed", 1)
 	return conn
 }
 
@@ -569,8 +573,9 @@ func (e *hostEnv) Send(to ids.ProcessID, m wire.Message) {
 }
 
 var (
-	_ runtime.AsyncVerifier = (*hostEnv)(nil)
-	_ runtime.BatchVerifier = (*hostEnv)(nil)
+	_ runtime.AsyncVerifier    = (*hostEnv)(nil)
+	_ runtime.BatchVerifier    = (*hostEnv)(nil)
+	_ runtime.RawAsyncVerifier = (*hostEnv)(nil)
 )
 
 // VerifyAsync implements runtime.AsyncVerifier: the signature check
@@ -579,11 +584,18 @@ var (
 // arithmetic. Reports false (verify synchronously) when the pool is
 // disabled.
 func (e *hostEnv) VerifyAsync(m wire.Signed, done func(error)) bool {
+	return e.VerifyRawAsync(m.Signer(), m.SigBytes(), m.Signature(), done)
+}
+
+// VerifyRawAsync implements runtime.RawAsyncVerifier: the same pool
+// path as VerifyAsync for callers that rewrite the verified bytes
+// (the fleet's per-shard signing domains).
+func (e *hostEnv) VerifyRawAsync(signer ids.ProcessID, data, sig []byte, done func(error)) bool {
 	if e.h.pool == nil {
 		return false
 	}
 	e.h.cfg.Metrics.Inc("transport.verify.async", 1)
-	e.h.pool.VerifyAsync(m.Signer(), m.SigBytes(), m.Signature(), func(err error) {
+	e.h.pool.VerifyAsync(signer, data, sig, func(err error) {
 		select {
 		case e.h.events <- func() { done(err) }:
 		case <-e.h.done:

@@ -18,7 +18,7 @@ func MutateFrame(rng *rand.Rand, frame []byte) []byte {
 	if len(frame) == 0 {
 		return append(frame, byte(1+rng.Intn(255)))
 	}
-	switch rng.Intn(6) {
+	switch rng.Intn(7) {
 	case 0:
 		// Single bit flip anywhere, type tag included: the classic
 		// corrupted-field commission fault. XOR can never be identity.
@@ -61,6 +61,29 @@ func MutateFrame(rng *rand.Rand, frame []byte) []byte {
 		tc.Trace ^= 1 + uint64(rng.Int63())
 		tc.Span ^= uint64(rng.Int63())
 		c.SetTraceCtx(tc)
+		return AppendEncode(frame[:0], m)
+	case 5:
+		// Shard-ID scramble: relabel a fleet envelope's shard field —
+		// cross-shard misrouting. The inner frame is untouched, so the
+		// mutant still decodes as a well-formed envelope; the receiving
+		// fleet must reject it (out-of-range shards die at the
+		// demultiplexer, in-range ones at the wrong shard's
+		// domain-separated signature check), never execute it.
+		m, err := Decode(frame)
+		if err != nil {
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		env, ok := m.(*ShardEnvelope)
+		if !ok {
+			frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			return frame
+		}
+		// XOR with a non-zero delta so the shard — and with it the
+		// re-encoded frame — always differs from the original. Small
+		// deltas keep most mutants inside a realistic fleet's shard
+		// range (misrouting), the rest are out-of-range garbage.
+		env.Shard ^= uint32(1 + rng.Intn(1<<16))
 		return AppendEncode(frame[:0], m)
 	default:
 		// Signature corruption: re-encode the message with a flipped

@@ -100,3 +100,33 @@ func TestMutateFrameDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestMutateFrameShardScramble pins the cross-shard misrouting arm:
+// across seeds, some mutants of a ShardEnvelope must be relabeled
+// envelopes — same inner frame, different shard — and every such
+// mutant must still decode canonically (the demultiplexer, not the
+// codec, is responsible for rejecting it).
+func TestMutateFrameShardScramble(t *testing.T) {
+	inner := Encode(&Request{Client: 7, Seq: 42, Op: []byte("set x=1")})
+	data := Encode(&ShardEnvelope{Shard: 1, Frame: inner})
+	relabeled := 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mutated := MutateFrame(rng, append([]byte(nil), data...))
+		m, err := Decode(mutated)
+		if err != nil {
+			continue
+		}
+		env, ok := m.(*ShardEnvelope)
+		if !ok || !bytes.Equal(env.Frame, inner) {
+			continue
+		}
+		if env.Shard == 1 {
+			t.Fatalf("seed %d: unchanged shard on a mutated envelope", seed)
+		}
+		relabeled++
+	}
+	if relabeled == 0 {
+		t.Fatal("no seed exercised the shard-scramble mutation")
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+import "fmt"
+
+// ShardEnvelope carries one shard's frame between fleet processes: the
+// fleet demultiplexer (internal/fleet) wraps every outbound frame of
+// shard group s in an envelope so all shards of a replica pair share
+// one transport connection instead of R×N sockets.
+//
+// Like TraceContext, the shard number rides OUTSIDE any signature
+// coverage: the envelope itself is unsigned and the inner frame's
+// signature does not cover the wrapping. Routing therefore must never
+// be trusted for safety — a Byzantine (or corrupted) sender can relabel
+// a frame to any shard. Safety holds anyway because every shard signs
+// and verifies under a shard-specific domain (crypto.DomainAuth): a
+// frame misrouted to the wrong shard fails signature verification
+// there and is dropped and counted, never executed. The only unsigned
+// traffic, heartbeats, is benign to misroute: all shards of a process
+// colocate, so process liveness is shared truth across shards.
+type ShardEnvelope struct {
+	// Shard is the target shard group.
+	Shard uint32
+	// Frame is the inner canonical frame (one Encode'd Message).
+	Frame []byte
+}
+
+var _ Message = (*ShardEnvelope)(nil)
+
+// Kind implements Message.
+func (*ShardEnvelope) Kind() Type { return TypeShardEnvelope }
+
+func (m *ShardEnvelope) encodeBody(b *Buffer) {
+	b.PutUint32(m.Shard)
+	b.PutBytes(m.Frame)
+}
+
+func (m *ShardEnvelope) decodeBody(r *Reader) error {
+	var err error
+	if m.Shard, err = r.Uint32(); err != nil {
+		return err
+	}
+	if m.Frame, err = r.Bytes(); err != nil {
+		return err
+	}
+	if len(m.Frame) == 0 {
+		return fmt.Errorf("wire: empty shard-envelope frame")
+	}
+	return nil
+}

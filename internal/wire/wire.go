@@ -57,6 +57,7 @@ const (
 	TypeTMDecided
 	TypeCommitCert
 	TypeBatch
+	TypeShardEnvelope
 )
 
 // String returns the protocol name of the message type.
@@ -102,6 +103,8 @@ func (t Type) String() string {
 		return "COMMIT-CERT"
 	case TypeBatch:
 		return "BATCH"
+	case TypeShardEnvelope:
+		return "SHARD-ENVELOPE"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -283,6 +286,8 @@ func newMessage(t Type) Message {
 		return &CommitCert{}
 	case TypeBatch:
 		return &Batch{}
+	case TypeShardEnvelope:
+		return &ShardEnvelope{}
 	default:
 		return nil
 	}

@@ -76,6 +76,8 @@ func sampleMessages() []Message {
 		&PBFTCommit{phaseBody{Replica: 3, View: 0, Slot: 1, Digest: []byte{0xd}, Sig: []byte{7}}},
 		&ChainForward{Replica: 1, Slot: 2, Req: req, Hops: []ids.ProcessID{1, 2}, Sig: []byte{8}},
 		&ChainAck{Replica: 5, Slot: 2, Sig: []byte{9}},
+		&ShardEnvelope{Shard: 0, Frame: Encode(&Heartbeat{From: 2, Seq: 100})},
+		&ShardEnvelope{Shard: 3, Frame: Encode(&prep)},
 		&TMProposal{Proposer: 2, Height: 5, Round: 1, Req: req, Sig: []byte{10}},
 		&TMPrevote{phaseBody{Replica: 3, View: 1, Slot: 5, Digest: []byte{0xe}, Sig: []byte{11}}},
 		&TMPrecommit{phaseBody{Replica: 4, View: 1, Slot: 5, Digest: []byte{0xe}, Sig: []byte{12}}},

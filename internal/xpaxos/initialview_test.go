@@ -1,0 +1,56 @@
+package xpaxos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/xpaxos"
+)
+
+// TestInitialViewStaggersLeader pins the fleet's leader-staggering
+// lever: a group configured with a non-zero InitialView starts in that
+// view — no view change — with the enumeration quorum of that view
+// active, and commits normally under its leader.
+func TestInitialViewStaggersLeader(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	leader := ids.ProcessID(2)
+	view, ok := xpaxos.FirstViewLedBy(cfg, leader)
+	if !ok {
+		t.Fatal("no view led by p2 in the n=4 enumeration")
+	}
+	if view == 0 {
+		t.Fatal("p2's first view is 0; the test needs a non-zero stagger")
+	}
+	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
+	replicas := make(map[ids.ProcessID]*xpaxos.Replica, cfg.N)
+	for _, p := range cfg.All() {
+		node, replica := xpaxos.NewQSNode(xpaxos.Options{InitialView: view}, quietNodeOpts())
+		nodes[p] = node
+		replicas[p] = replica
+	}
+	net := sim.NewNetwork(cfg, nodes, sim.Options{})
+	defer net.Close()
+
+	if got := replicas[1].Leader(); got != leader {
+		t.Fatalf("initial leader %s, want %s", got, leader)
+	}
+	if v := replicas[1].View(); v != view {
+		t.Fatalf("initial view %d, want %d", v, view)
+	}
+	for i := 1; i <= 5; i++ {
+		replicas[leader].Submit(req(7, uint64(i), fmt.Sprintf("set k%d v%d", i, i)))
+	}
+	net.Run(2 * time.Second)
+	for _, p := range replicas[leader].ActiveQuorum().Members {
+		if got := replicas[p].LastExecuted(); got != 5 {
+			t.Errorf("%s executed %d slots, want 5", p, got)
+		}
+	}
+	if vc := replicas[leader].ViewChanges(); vc != 0 {
+		t.Errorf("%d view changes during a staggered-start commit run", vc)
+	}
+}

@@ -58,6 +58,13 @@ type Options struct {
 	// batch to fill; <= 0 selects host.DefaultMaxBatchLatency. Ignored
 	// at BatchSize 1, where every submit flushes synchronously.
 	MaxBatchLatency time.Duration
+	// InitialView is the view every replica starts in (default 0). It
+	// is configuration, exactly like view 0: all replicas of one group
+	// must agree on it, and the group's initial leader is
+	// quorumAt(InitialView).Members[0]. The fleet staggers shards
+	// across initial views so their leaders land on different
+	// processes instead of all on the first enumeration quorum's head.
+	InitialView uint64
 	// Window bounds how many slots the leader keeps in flight (proposed
 	// but not yet committed). With a full window, new batches pool in
 	// the ingress mempool instead of becoming protocol state; capacity
@@ -180,8 +187,8 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.cfg = env.Config()
 	r.log = env.Logger()
 	r.enumeration = ids.EnumerateQuorums(r.cfg.N, r.cfg.Q())
-	r.view = 0
-	r.active = r.enumeration[0]
+	r.view = r.opts.InitialView
+	r.active = r.quorumAt(r.view)
 	r.nextSlot = 1
 	r.ingress = host.NewIngress(env, host.IngressOptions{
 		BatchSize:  r.opts.BatchSize,
@@ -194,7 +201,7 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.ingress.SetGate(func() bool {
 		return !r.IsLeader() || r.changing || r.windowOpen()
 	})
-	runtime.SetNodeGauge(r.env, "xpaxos.view", 0)
+	runtime.SetNodeGauge(r.env, "xpaxos.view", float64(r.view))
 }
 
 // Stop implements host.Stoppable: cancel the ingress flush timer so a
@@ -238,6 +245,20 @@ func (r *Replica) Executions() []Execution {
 // enumeration, round-robin (§V-B).
 func (r *Replica) quorumAt(v uint64) ids.Quorum {
 	return r.enumeration[int(v%uint64(len(r.enumeration)))]
+}
+
+// FirstViewLedBy returns the lowest view whose quorum is led by p, and
+// whether any view is. A quorum's leader is its first (smallest)
+// member, so under lexicographic enumeration only processes 1..n-q+1
+// ever lead; the fleet cycles shard initial views across that range to
+// spread leader load over distinct processes.
+func FirstViewLedBy(cfg ids.Config, p ids.ProcessID) (uint64, bool) {
+	for v, q := range ids.EnumerateQuorums(cfg.N, cfg.Q()) {
+		if len(q.Members) > 0 && q.Members[0] == p {
+			return uint64(v), true
+		}
+	}
+	return 0, false
 }
 
 // inflight counts slots proposed (or accepted) in the current view that

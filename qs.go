@@ -6,6 +6,7 @@ import (
 	"quorumselect/internal/core"
 	"quorumselect/internal/crypto"
 	"quorumselect/internal/fd"
+	"quorumselect/internal/fleet"
 	"quorumselect/internal/follower"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
@@ -111,6 +112,16 @@ type (
 	// MemStorage is the in-memory StorageBackend with crash simulation,
 	// for tests and experiments.
 	MemStorage = storage.MemBackend
+	// Fleet runs several independent replication groups (shards) behind
+	// one transport endpoint, multiplexed over one connection per peer
+	// pair (see internal/fleet).
+	Fleet = fleet.Fleet
+	// FleetOptions configures a Fleet (shard count and per-shard node
+	// factory).
+	FleetOptions = fleet.Options
+	// ShardRouter is the consistent-hash key → shard router fleet
+	// frontends use.
+	ShardRouter = fleet.Router
 )
 
 // NewEventBus returns an event bus retaining up to capacity events
@@ -173,6 +184,34 @@ func NewDirStorage(dir string) (StorageBackend, error) { return storage.NewDirBa
 // NewMemStorage returns an in-memory storage backend whose Crash method
 // simulates power loss (unsynced writes are dropped).
 func NewMemStorage() *MemStorage { return storage.NewMemBackend() }
+
+// SubStorage returns the named sub-tree of a backend (per-shard
+// durability: each shard of a fleet persists into its own sub-tree of
+// the process's storage root). Errors if the backend cannot nest.
+func SubStorage(parent StorageBackend, name string) (StorageBackend, error) {
+	return storage.Sub(parent, name)
+}
+
+// NewFleet builds a sharded replica fleet: opts.Shards independent
+// replication groups behind one RuntimeNode, so all shards of a peer
+// pair share one transport connection. See internal/fleet.
+func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
+
+// NewShardRouter builds the deterministic consistent-hash key → shard
+// router for a fleet of the given width.
+func NewShardRouter(shards int) *ShardRouter { return fleet.NewRouter(shards) }
+
+// ShardDomain is the signing domain of one shard group (see
+// internal/fleet: the routing label is unsigned; domain separation is
+// what keeps misrouted frames from verifying).
+func ShardDomain(shard int) string { return fleet.ShardDomain(shard) }
+
+// FirstViewLedBy returns the first view of the quorum enumeration led
+// by p — the lever fleets use to stagger shard leaders across
+// processes.
+func FirstViewLedBy(cfg Config, p ProcessID) (uint64, bool) {
+	return xpaxos.FirstViewLedBy(cfg, p)
+}
 
 // Tendermint-style consensus (the §X future-work integration).
 type (
