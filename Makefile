@@ -8,7 +8,7 @@ BENCHTIME ?= 100ms
 # Seeds per protocol for `make chaos`.
 CHAOS_SEEDS ?= 50
 
-.PHONY: all build test race vet check clean golden bench bench-smoke chaos chaos-sharded
+.PHONY: all build test race vet check clean golden bench bench-smoke chaos chaos-sharded chaos-unsafe-spec quorum-check fuzz-smoke cover
 
 all: build
 
@@ -62,6 +62,32 @@ chaos:
 
 chaos-sharded:
 	$(GO) run ./cmd/chaos -sharded -seeds $(CHAOS_SEEDS)
+
+# chaos-unsafe-spec runs the unsafe-spec adversary both ways: the
+# checker must reject the disjoint-quorum spec before boot, and when
+# forced past the gate the spec must demonstrably fork the log
+# (disjoint certificates on both sides of a partition).
+chaos-unsafe-spec:
+	$(GO) run ./cmd/chaos -unsafe-spec -seeds 5
+	$(GO) run ./cmd/chaos -unsafe-spec -force-unsafe -seeds 1
+
+# quorum-check runs the exact intersection/availability checker over
+# every spec shipped in examples/, plus the known-unsafe spec (which
+# must FAIL — hence the inverted exit check).
+quorum-check:
+	$(GO) run ./cmd/quorumcheck examples/quorum-specs/*.spec
+	! $(GO) run ./cmd/quorumcheck -spec "slices:n=4;1={2};2={1};3={4};4={3}"
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# parser/validator regressions without burning CI minutes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzQuorumSpec$$' -fuzztime 20s ./internal/quorum/
+
+# cover runs the full suite with a coverage profile and prints the
+# total-coverage summary line.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # golden regenerates the Prometheus exposition golden file after an
 # intentional format change.

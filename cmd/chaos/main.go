@@ -38,9 +38,16 @@ func main() {
 		traceDump   = flag.String("trace-dump", "", "write the flight-recorder dump (spans + events JSON) of a replayed or violating seed to this file")
 		sharded     = flag.Bool("sharded", false, "run the sharded-partition fleet scenario instead of the generic protocol sweep")
 		shards      = flag.Int("shards", 3, "fleet width for -sharded")
+		unsafeSpec  = flag.Bool("unsafe-spec", false, "run the unsafe-spec adversary: the intersection checker must reject the spec before boot")
+		spec        = flag.String("spec", "", "quorum spec for -unsafe-spec (default: the disjoint slices spec)")
+		forceUnsafe = flag.Bool("force-unsafe", false, "with -unsafe-spec: boot a cluster on the spec anyway and demand the disjoint-certificate fork (exit 0 iff demonstrated)")
 	)
 	flag.Parse()
 
+	if *unsafeSpec {
+		runUnsafeSpec(*spec, *forceUnsafe, *seeds, *first, *seed, *metricsDump)
+		return
+	}
 	if *sharded {
 		runSharded(*n, *f, *shards, *window, *seeds, *first, *seed, *metricsDump)
 		return
@@ -133,6 +140,63 @@ func runSharded(n, f, shards, window, seeds int, first, seed int64, metricsDump 
 			fmt.Printf("reproduce: go run ./cmd/chaos -sharded -shards %d -seed %d\n", shards, res.Violation.Seed)
 		} else {
 			fmt.Printf("%-10s ok  %d seeds (%d..%d), no violations\n",
+				res.Protocol, res.Seeds, first, first+int64(res.Seeds)-1)
+		}
+	}
+	if metricsDump {
+		fmt.Println()
+		reg.WriteTo(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runUnsafeSpec executes (or replays) the unsafe-spec adversary. The
+// exit-status polarity follows the mode: without -force-unsafe the
+// checker rejecting the spec is success; with it, the demonstrated
+// disjoint-certificate fork is success (the spec is proven unsafe) and
+// an absent fork means the scenario failed to show anything.
+func runUnsafeSpec(spec string, force bool, seeds int, first, seed int64, metricsDump bool) {
+	reg := metrics.NewRegistry()
+	cfg := chaos.UnsafeSpecConfig{
+		Spec:      spec,
+		Force:     force,
+		Seeds:     seeds,
+		FirstSeed: first,
+		Metrics:   reg,
+	}
+	failed := false
+	if seed >= 0 {
+		dump, v := chaos.ReplayUnsafeSpec(cfg, seed)
+		fmt.Print(dump)
+		if force {
+			failed = v == nil || v.Checker != "unsafe-spec-history"
+		} else {
+			failed = v != nil
+		}
+	} else {
+		res := chaos.RunUnsafeSpec(cfg)
+		switch {
+		case force && res.Violation != nil && res.Violation.Checker == "unsafe-spec-history":
+			fmt.Printf("%-10s demonstrated: spec is unsafe (disjoint certificates forked the log)\n", res.Protocol)
+			fmt.Print(res.Violation.Dump)
+			fmt.Printf("reproduce: go run ./cmd/chaos -unsafe-spec -force-unsafe -seed %d\n", res.Violation.Seed)
+		case force:
+			failed = true
+			if res.Violation != nil {
+				fmt.Printf("%-10s FAIL: %v\n", res.Protocol, res.Violation)
+				fmt.Print(res.Violation.Dump)
+			} else {
+				fmt.Printf("%-10s FAIL: forced unsafe spec did not fork the log in %d seeds\n", res.Protocol, res.Seeds)
+			}
+		case res.Violation != nil:
+			failed = true
+			fmt.Printf("%-10s FAIL after %d seeds: %v\n", res.Protocol, res.Seeds, res.Violation)
+			fmt.Print(res.Violation.Dump)
+			fmt.Printf("reproduce: go run ./cmd/chaos -unsafe-spec -seed %d\n", res.Violation.Seed)
+		default:
+			fmt.Printf("%-10s ok  %d seeds (%d..%d), checker rejected the spec before boot every time\n",
 				res.Protocol, res.Seeds, first, first+int64(res.Seeds)-1)
 		}
 	}

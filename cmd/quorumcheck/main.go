@@ -1,0 +1,92 @@
+// Command quorumcheck verifies quorum-system specs offline: parse each
+// spec, run the intersection/availability checker, and print one
+// verdict line per spec. It is the same gate cmd/xpaxos applies at
+// boot, packaged for CI and pre-deployment review.
+//
+// Usage:
+//
+//	quorumcheck -spec "weighted:w=2,1,1,1;t=3" -faults 1
+//	quorumcheck examples/quorum-specs/*.spec
+//
+// File arguments hold one spec per line; blank lines and #-comments
+// are ignored. Exit status is 1 when any spec fails to parse, admits
+// disjoint quorums, or cannot survive the configured fault count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quorumselect/internal/quorum"
+)
+
+func main() {
+	var (
+		spec     = flag.String("spec", "", "check this inline spec (in addition to any file arguments)")
+		faults   = flag.Int("faults", 1, "fault count the spec must survive (0 disables the availability check)")
+		samples  = flag.Int("samples", 0, "sampler budget beyond the exact cutoff (0 = default)")
+		seed     = flag.Uint64("seed", 0, "sampler seed, for reproducible verdicts on large specs")
+		maxExact = flag.Int("max-exact", 0, "largest n checked exactly (0 = default, -1 = force sampling)")
+	)
+	flag.Parse()
+
+	var specs []string
+	if *spec != "" {
+		specs = append(specs, *spec)
+	}
+	for _, path := range flag.Args() {
+		lines, err := readSpecFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quorumcheck: %v\n", err)
+			os.Exit(1)
+		}
+		specs = append(specs, lines...)
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "quorumcheck: no specs (use -spec or pass spec files)")
+		os.Exit(2)
+	}
+
+	opts := quorum.CheckOptions{
+		MaxExactN: *maxExact,
+		Samples:   *samples,
+		Seed:      *seed,
+		Faults:    *faults,
+	}
+	failed := false
+	for _, s := range specs {
+		sys, err := quorum.ParseSpec(s)
+		if err != nil {
+			fmt.Printf("quorum-check spec=%q PARSE-FAIL: %v\n", s, err)
+			failed = true
+			continue
+		}
+		report := quorum.Check(sys, opts)
+		fmt.Println(report)
+		if report.Err() != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readSpecFile returns the non-blank, non-comment lines of a spec file.
+func readSpecFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		specs = append(specs, line)
+	}
+	return specs, nil
+}

@@ -120,6 +120,7 @@ func (f *frontend) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Leader   string   `json:"leader"`
 		IsLeader bool     `json:"is_leader"`
 		Quorum   []string `json:"quorum"`
+		Spec     string   `json:"quorum_spec"`
 		Executed uint64   `json:"executed"`
 	}
 	var status struct {
@@ -135,6 +136,9 @@ func (f *frontend) handleStatus(w http.ResponseWriter, _ *http.Request) {
 				Leader:   replica.Leader().String(),
 				IsLeader: replica.IsLeader(),
 				Executed: replica.LastExecuted(),
+			}
+			if sys := replica.System(); sys != nil {
+				st.Spec = sys.String()
 			}
 			for _, p := range replica.ActiveQuorum().Members {
 				st.Quorum = append(st.Quorum, p.String())

@@ -53,6 +53,7 @@ func main() {
 	auth := flag.String("auth", "hmac", "authenticator: hmac (uses -secret), ed25519 (deterministic demo keyring), nop (no authentication; benchmarks only)")
 	window := flag.Int("window", 16, "leader commit-window depth: slots in flight before client batches pool in the mempool (0 = unbounded)")
 	shards := flag.Int("shards", 1, "independent replication groups to run as a fleet (1 = plain single group)")
+	quorumSpec := flag.String("quorum-spec", "", `generalized quorum spec, e.g. "weighted:w=3,1,1,1;t=4" or "slices:n=4;1={2,3}|{3,4};..." (empty: n-f threshold); checked for intersection+availability before boot`)
 	local := flag.Bool("local", false, "run the whole cluster in this process")
 	requests := flag.Int("requests", 10, "requests to submit in local mode")
 	dataDir := flag.String("data-dir", "", "durable state directory (empty: run in-memory); each process needs its own")
@@ -66,10 +67,42 @@ func main() {
 		log.Fatalf("-shards %d: need at least one shard", *shards)
 	}
 	if *local {
-		runLocal(*n, *f, *secret, *auth, *window, *shards, *requests, *dataDir, *verbose)
+		runLocal(*n, *f, *secret, *auth, *window, *shards, *requests, *dataDir, *quorumSpec, *verbose)
 		return
 	}
-	runServer(*id, *peersFlag, *f, *secret, *auth, *window, *shards, *dataDir, *httpAddr, *debugAddr, *flight, *verbose)
+	runServer(*id, *peersFlag, *f, *secret, *auth, *window, *shards, *dataDir, *httpAddr, *debugAddr, *flight, *quorumSpec, *verbose)
+}
+
+// loadQuorumSpec is the boot gate for -quorum-spec: parse the spec,
+// run the intersection/availability checker against the cluster's
+// failure threshold, and refuse to boot on a spec that admits disjoint
+// quorums or cannot survive f faults. The default threshold spec is
+// checked too (its report is printed), but returns a nil system so the
+// byte-exact legacy selection path stays in effect.
+func loadQuorumSpec(spec string, cfg qs.Config, shards int) (qs.QuorumSystem, qs.QuorumReport, error) {
+	defaulted := spec == ""
+	if defaulted {
+		spec = fmt.Sprintf("threshold:n=%d;f=%d", cfg.N, cfg.F)
+	} else if shards > 1 {
+		// Fleet leader staggering walks the threshold view enumeration
+		// (FirstViewLedBy); generalized specs have no such indexing yet.
+		return nil, qs.QuorumReport{}, fmt.Errorf("-quorum-spec cannot be combined with -shards > 1")
+	}
+	sys, err := qs.ParseQuorumSpec(spec)
+	if err != nil {
+		return nil, qs.QuorumReport{}, err
+	}
+	if sys.N() != cfg.N {
+		return nil, qs.QuorumReport{}, fmt.Errorf("-quorum-spec %q is for n=%d, cluster has n=%d", spec, sys.N(), cfg.N)
+	}
+	report := qs.CheckQuorumSystem(sys, qs.QuorumCheckOptions{Faults: cfg.F})
+	if err := report.Err(); err != nil {
+		return nil, report, err
+	}
+	if defaulted {
+		return nil, report, nil
+	}
+	return sys, report, nil
 }
 
 // makeAuth builds the wire authenticator selected by -auth. The
@@ -103,7 +136,8 @@ func shardLeader(cfg qs.Config, shard int) qs.ProcessID {
 // are indexed by shard (length 1 when shards == 1, where the node is
 // wired bare for wire compatibility with non-fleet deployments).
 func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
-	listen string, secret, auth string, window, shards int, dataDir string, verbose bool,
+	listen string, secret, auth string, window, shards int, dataDir string,
+	sys qs.QuorumSystem, verbose bool,
 	onExec func(shard int, e qs.Execution)) (*qs.Host, []*qs.XPaxosReplica, []*qs.KVMachine, error) {
 	var root qs.StorageBackend
 	if dataDir != "" {
@@ -119,6 +153,9 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	newShard := func(s int) qs.RuntimeNode {
 		nodeOpts := qs.DefaultNodeOptions()
 		nodeOpts.HeartbeatPeriod = 50 * time.Millisecond
+		// A checked generalized spec drives both selection and the
+		// certificate path (NewXPaxosNode syncs the replica side).
+		nodeOpts.Quorum = sys
 		if root != nil {
 			st := root
 			if shards > 1 {
@@ -191,7 +228,7 @@ func buildHost(p qs.ProcessID, cfg qs.Config, addrs map[qs.ProcessID]string,
 	return host, replicas, kvs, err
 }
 
-func runServer(id int, peersFlag string, f int, secret, auth string, window, shards int, dataDir, httpAddr, debugAddr, flight string, verbose bool) {
+func runServer(id int, peersFlag string, f int, secret, auth string, window, shards int, dataDir, httpAddr, debugAddr, flight, quorumSpec string, verbose bool) {
 	peers := strings.Split(peersFlag, ",")
 	if peersFlag == "" || len(peers) < 2 {
 		log.Fatal("server mode needs -peers with at least two addresses")
@@ -211,6 +248,12 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window, sha
 	listen := addrs[self]
 	delete(addrs, self)
 
+	sys, report, err := loadQuorumSpec(quorumSpec, cfg, shards)
+	if err != nil {
+		log.Fatalf("quorum spec rejected: %v\n  %s", err, report)
+	}
+	fmt.Printf("%s\n", report)
+
 	if flight != "" {
 		// Fail-stop crashes (storage persist failures) dump the flight
 		// recorder here instead of stderr, so a post-mortem survives log
@@ -228,7 +271,7 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window, sha
 	// only happen after the host loop starts).
 	var fe *frontend
 	var reg *qs.Registry
-	host, replicas, kvs, err := buildHost(self, cfg, addrs, listen, secret, auth, window, shards, dataDir, verbose,
+	host, replicas, kvs, err := buildHost(self, cfg, addrs, listen, secret, auth, window, shards, dataDir, sys, verbose,
 		func(s int, e qs.Execution) {
 			if reg != nil {
 				reg.SetGauge("fleet.shard.executed", float64(e.Slot),
@@ -243,6 +286,18 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window, sha
 	}
 	defer host.Close()
 	reg = host.Metrics()
+	// Checker verdicts as gauges: both are necessarily 1 when the
+	// process boots (a failing spec is fatal above), labeled with the
+	// active spec so dashboards can tell which system is live.
+	specLabel := metrics.L{Key: "spec", Value: report.Spec}
+	reg.SetGauge("quorum.check.intersection_ok", 1, specLabel)
+	reg.SetGauge("quorum.check.available_ok", 1, specLabel)
+	if report.Exact {
+		reg.SetGauge("quorum.check.exact", 1, specLabel)
+	} else {
+		reg.SetGauge("quorum.check.exact", 0, specLabel)
+		reg.SetGauge("quorum.check.confidence", report.Confidence, specLabel)
+	}
 	if shards > 1 {
 		fmt.Printf("xpaxos %s listening on %s (%s, %d shards)\n", self, host.Addr(), cfg, shards)
 	} else {
@@ -277,11 +332,16 @@ func runServer(id int, peersFlag string, f int, secret, auth string, window, sha
 	os.Exit(0)
 }
 
-func runLocal(n, f int, secret, auth string, window, shards, requests int, dataDir string, verbose bool) {
+func runLocal(n, f int, secret, auth string, window, shards, requests int, dataDir, quorumSpec string, verbose bool) {
 	cfg, err := qs.NewConfig(n, f)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys, report, err := loadQuorumSpec(quorumSpec, cfg, shards)
+	if err != nil {
+		log.Fatalf("quorum spec rejected: %v\n  %s", err, report)
+	}
+	fmt.Printf("%s\n", report)
 	hosts := make(map[qs.ProcessID]*qs.Host, cfg.N)
 	replicas := make(map[qs.ProcessID][]*qs.XPaxosReplica, cfg.N)
 	for _, p := range cfg.All() {
@@ -290,7 +350,7 @@ func runLocal(n, f int, secret, auth string, window, shards, requests int, dataD
 			// Each process persists into its own subdirectory.
 			dir = fmt.Sprintf("%s/p%d", dataDir, p)
 		}
-		host, reps, _, err := buildHost(p, cfg, nil, "", secret, auth, window, shards, dir, verbose, nil)
+		host, reps, _, err := buildHost(p, cfg, nil, "", secret, auth, window, shards, dir, sys, verbose, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnsafeSpecCheckerRejects is the boot-gate half of the adversary:
+// both the exact checker and the seed-plumbed forced sampler must
+// reject the intersection-violating spec before any node boots, so the
+// scenario reports no violation.
+func TestUnsafeSpecCheckerRejects(t *testing.T) {
+	res := RunUnsafeSpec(UnsafeSpecConfig{FirstSeed: 3, Seeds: 3})
+	if res.Violation != nil {
+		t.Fatalf("checker failed to reject unsafe spec:\n%s", res.Violation.Dump)
+	}
+	if res.Seeds != 3 {
+		t.Fatalf("ran %d seeds, want 3", res.Seeds)
+	}
+}
+
+// TestUnsafeSpecSafeSpecIsConfigError pins the ground-truth polarity:
+// feeding the adversary a spec with intersection is a scenario
+// misconfiguration, not a checker finding.
+func TestUnsafeSpecSafeSpecIsConfigError(t *testing.T) {
+	res := RunUnsafeSpec(UnsafeSpecConfig{Spec: "threshold:n=4;f=1", FirstSeed: 1})
+	if res.Violation == nil || res.Violation.Checker != "unsafe-spec-config" {
+		t.Fatalf("safe spec not flagged as config error: %+v", res.Violation)
+	}
+}
+
+// TestUnsafeSpecForcedForkViolates forces the unsafe spec past the
+// checker and demands the demonstration: the two disjoint quorums
+// certify divergent slot-1 histories across the partition, and the
+// post-heal certificate crosses sides. The violation proves the spec
+// the checker rejects is genuinely unsafe at the wire level.
+func TestUnsafeSpecForcedForkViolates(t *testing.T) {
+	res := RunUnsafeSpec(UnsafeSpecConfig{Force: true, FirstSeed: 5})
+	if res.Violation == nil {
+		t.Fatal("forced unsafe spec did not fork the log")
+	}
+	if res.Violation.Checker != "unsafe-spec-history" {
+		t.Fatalf("violation from %q, want unsafe-spec-history:\n%s",
+			res.Violation.Checker, res.Violation.Dump)
+	}
+	if !strings.Contains(res.Violation.Detail, "histories diverge at slot 1") {
+		t.Fatalf("violation detail %q does not pin the slot-1 fork", res.Violation.Detail)
+	}
+	dump := res.Violation.Dump
+	for _, want := range []string{
+		"chaos-unsafe-spec: seed=5",
+		"mode=sampled",
+		"disjoint quorums {p1,p2} | {p3,p4}",
+		`spec="slices:n=4;1={2};2={1};3={4};4={3}"`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestUnsafeSpecReplayDeterministic pins the replay contract for the
+// forced run: the chaos seed feeds both the network schedule and the
+// randomized intersection sampler, so two replays of one seed — checker
+// verdicts included — are byte-identical.
+func TestUnsafeSpecReplayDeterministic(t *testing.T) {
+	cfg := UnsafeSpecConfig{Force: true}
+	a, va := ReplayUnsafeSpec(cfg, 9)
+	b, vb := ReplayUnsafeSpec(cfg, 9)
+	if (va == nil) != (vb == nil) {
+		t.Fatalf("replays disagree on violation: %v vs %v", va, vb)
+	}
+	if a != b {
+		t.Fatalf("replay dumps differ for one seed:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "seed=9") {
+		t.Fatalf("dump missing seed header:\n%s", a)
+	}
+	if !strings.Contains(a, "seed=9 confidence=0.99") {
+		t.Fatalf("dump missing seeded sampler report:\n%s", a)
+	}
+}

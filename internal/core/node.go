@@ -6,6 +6,7 @@ import (
 	"quorumselect/internal/fd"
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/storage"
 	"quorumselect/internal/suspicion"
@@ -34,6 +35,12 @@ type NodeOptions struct {
 	Storage storage.Backend
 	// StorageOptions tune the WAL (see host.Options.StorageOptions).
 	StorageOptions storage.Options
+	// Quorum is the generalized quorum system the selector runs on; nil
+	// means the paper's n−f threshold system from the configuration.
+	// Callers must validate non-default specs with quorum.Check before
+	// booting a node on them — an intersection-violating spec lets a
+	// partitioned log commit on both sides.
+	Quorum quorum.System
 }
 
 // DefaultNodeOptions returns the standard composition: adaptive failure
@@ -80,7 +87,7 @@ func NewNode(opts NodeOptions) *Node {
 		Storage:         opts.Storage,
 		StorageOptions:  opts.StorageOptions,
 		NewSelection: func(env runtime.Env, store *suspicion.Store, _ *fd.Detector, issue func(ids.Quorum)) host.Selection {
-			n.Selector = NewSelector(env, store, issue)
+			n.Selector = NewSelectorSystem(env, store, opts.Quorum, issue)
 			return n.Selector
 		},
 	})

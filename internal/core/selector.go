@@ -16,6 +16,12 @@
 //     store and the quorum is the deterministic lexicographically-first
 //     independent set, so correct processes converge.
 //
+// The quorum rule itself is pluggable (internal/quorum): the default is
+// the paper's n−f threshold system, but the same state machine runs
+// unchanged over weighted or FBAS-style slice systems — "first
+// independent set of size q" generalizes to "lexicographically-first
+// minimal quorum that is an independent set of the suspect graph".
+//
 // One deliberate deviation from the pseudocode's event plumbing: after
 // advancing the epoch (Algorithm 1 lines 28–29) this implementation
 // re-evaluates the quorum immediately instead of waiting for the
@@ -36,6 +42,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
 )
@@ -50,6 +57,7 @@ type Selector struct {
 	store    *suspicion.Store
 	onQuorum OnQuorum
 	log      logging.Logger
+	sys      quorum.System
 
 	qLast ids.Quorum
 
@@ -58,12 +66,12 @@ type Selector struct {
 	issuedTotal   int
 	issuedInEpoch map[uint64]int
 
-	// Memoized FirstIndependentSet result, keyed by the store's graph
-	// version and the requested quorum size: onChange fires on every
-	// merged UPDATE, but the suspect graph (and hence the set) only
-	// changes when an edge does.
+	// Memoized selection result, keyed by the store's graph version:
+	// onChange fires on every merged UPDATE, but the suspect graph (and
+	// hence the selected quorum) only changes when an edge does. The
+	// quorum system is fixed for the selector's lifetime, so the
+	// version alone keys the memo.
 	isetVersion uint64
-	isetQ       int
 	isetSet     []ids.ProcessID
 	isetOK      bool
 	isetValid   bool
@@ -74,20 +82,44 @@ type Selector struct {
 	updating bool
 }
 
-// NewSelector creates a selector over the given store. Bind the store's
-// onChange to (*Selector).UpdateQuorum; wire the failure detector's
-// suspicions to (*Selector).OnSuspected.
+// NewSelector creates a selector over the given store running the
+// paper's threshold system q = n − f. Bind the store's onChange to
+// (*Selector).UpdateQuorum; wire the failure detector's suspicions to
+// (*Selector).OnSuspected.
 func NewSelector(env runtime.Env, store *suspicion.Store, onQuorum OnQuorum) *Selector {
+	return NewSelectorSystem(env, store, nil, onQuorum)
+}
+
+// NewSelectorSystem creates a selector running a generalized quorum
+// system. A nil system means the threshold system from the
+// configuration. The system's size must match n; callers are expected
+// to have validated the spec with quorum.Check before booting a node
+// on it.
+func NewSelectorSystem(env runtime.Env, store *suspicion.Store, sys quorum.System, onQuorum OnQuorum) *Selector {
+	if sys == nil {
+		sys = quorum.FromConfig(env.Config())
+	}
+	if sys.N() != env.Config().N {
+		panic("core: quorum system size does not match configuration n")
+	}
+	dq, ok := quorum.Default(sys)
+	if !ok {
+		panic("core: quorum system admits no quorum at all")
+	}
 	s := &Selector{
 		env:           env,
 		store:         store,
 		onQuorum:      onQuorum,
 		log:           env.Logger(),
-		qLast:         ids.NewQuorum(env.Config().DefaultQuorum().Sorted()),
+		sys:           sys,
+		qLast:         ids.NewQuorum(dq),
 		issuedInEpoch: make(map[uint64]int),
 	}
 	return s
 }
+
+// System returns the quorum system the selector runs on.
+func (s *Selector) System() quorum.System { return s.sys }
 
 // Current returns the last issued (or initial) quorum.
 func (s *Selector) Current() ids.Quorum { return s.qLast }
@@ -110,8 +142,8 @@ func (s *Selector) OnSuspected(suspected ids.ProcSet) {
 }
 
 // UpdateQuorum is Algorithm 1's updateQuorum (lines 25–34): build the
-// suspect graph, advance the epoch while no independent set of size q
-// exists, then issue the lexicographically-first independent set if it
+// suspect graph, advance the epoch while no quorum of the system is an
+// independent set, then issue the lexicographically-first one if it
 // differs from the last quorum. Wire it to the store's onChange hook.
 func (s *Selector) UpdateQuorum() {
 	if s.updating {
@@ -129,23 +161,28 @@ func (s *Selector) UpdateQuorum() {
 		s.env.Metrics().Observe("core.quorum.update.seconds", time.Since(wallStart).Seconds())
 	}()
 
-	q := s.env.Config().Q()
 	// Epochs beyond startMax contain only the local process's own
 	// re-stamped suspicions (every foreign stamp is ≤ startMax), so the
 	// advance loop below visits at most startMax−epoch+1 epochs before
 	// the graph stops shrinking.
 	startMax := s.store.MaxEpochSeen()
 	for {
-		set, ok := s.firstIndependentSet(q)
+		set, ok := s.firstQuorum()
 		if !ok {
 			if s.store.Epoch() > startMax {
 				// Even the local process's own current suspicions
 				// preclude a quorum (it suspects more than f others —
 				// an assumption violation, e.g. f = 0 with any
 				// suspicion). Keep the last quorum rather than spin.
-				s.log.Logf(logging.LevelError,
-					"core: own suspicions %s preclude any quorum of size %d; keeping %s",
-					s.store.Suspecting(), q, s.qLast)
+				if sized, isSized := s.sys.(quorum.Sized); isSized {
+					s.log.Logf(logging.LevelError,
+						"core: own suspicions %s preclude any quorum of size %d; keeping %s",
+						s.store.Suspecting(), sized.QuorumSize(), s.qLast)
+				} else {
+					s.log.Logf(logging.LevelError,
+						"core: own suspicions %s preclude any quorum of %s; keeping %s",
+						s.store.Suspecting(), s.sys, s.qLast)
+				}
 				return
 			}
 			// Suspicions in the current epoch are inconsistent with
@@ -153,36 +190,35 @@ func (s *Selector) UpdateQuorum() {
 			s.store.AdvanceEpoch()
 			continue
 		}
-		quorum := ids.NewQuorum(set)
-		if !quorum.Equal(s.qLast) {
-			s.qLast = quorum
+		issued := ids.NewQuorum(set)
+		if !issued.Equal(s.qLast) {
+			s.qLast = issued
 			s.issuedTotal++
 			s.issuedInEpoch[s.store.Epoch()]++
 			s.env.Metrics().Inc("core.quorum.issued", 1)
 			runtime.Emit(s.env, obs.Event{Type: obs.TypeQuorumChange,
-				Epoch: s.store.Epoch(), Detail: quorum.String()})
-			s.log.Logf(logging.LevelDebug, "core: QUORUM %s (epoch %d)", quorum, s.store.Epoch())
+				Epoch: s.store.Epoch(), Detail: issued.String()})
+			s.log.Logf(logging.LevelDebug, "core: QUORUM %s (epoch %d)", issued, s.store.Epoch())
 			if s.onQuorum != nil {
-				s.onQuorum(quorum)
+				s.onQuorum(issued)
 			}
 		}
 		return
 	}
 }
 
-// firstIndependentSet returns the lexicographically-first independent
-// set of size q in the current suspect graph, memoized per
-// (graph-version, q) so UPDATE storms that do not change the graph's
-// edge set skip the exponential search entirely.
-func (s *Selector) firstIndependentSet(q int) ([]ids.ProcessID, bool) {
-	ver := s.store.GraphVersion()
-	if s.isetValid && s.isetVersion == ver && s.isetQ == q {
+// firstQuorum returns the lexicographically-first minimal quorum of the
+// system that is an independent set of the current suspect graph,
+// memoized per graph version so UPDATE storms that do not change the
+// graph's edge set skip the exponential search entirely.
+func (s *Selector) firstQuorum() ([]ids.ProcessID, bool) {
+	g, ver := s.store.GraphSnapshot()
+	if s.isetValid && s.isetVersion == ver {
 		s.env.Metrics().Inc("selector.iset.cache_hits", 1)
 		return s.isetSet, s.isetOK
 	}
 	s.env.Metrics().Inc("selector.iset.cache_misses", 1)
-	g := s.store.SuspectGraph()
-	set, ok := g.FirstIndependentSet(q)
-	s.isetVersion, s.isetQ, s.isetSet, s.isetOK, s.isetValid = ver, q, set, ok, true
+	set, ok := quorum.Select(s.sys, g)
+	s.isetVersion, s.isetSet, s.isetOK, s.isetValid = ver, set, ok, true
 	return set, ok
 }

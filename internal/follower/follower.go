@@ -29,6 +29,7 @@ import (
 	"quorumselect/internal/graph"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
 	"quorumselect/internal/wire"
@@ -47,48 +48,77 @@ type Selector struct {
 	detector *fd.Detector
 	onQuorum OnQuorum
 	log      logging.Logger
+	sys      quorum.System
 
 	leader ids.ProcessID
 	stable bool
 	qLast  ids.Quorum
 	line   *graph.LineSubgraph
 
+	// qDefault is the system's default quorum with its lowest member as
+	// default leader — the generalized {p_1, {p_1..p_q}} of lines 12–14.
+	qDefault ids.Quorum
+
 	issuedTotal   int
 	issuedInEpoch map[uint64]int
 	updating      bool
 
 	// Memoized per-graph-version results: onChange fires on every
-	// merged UPDATE, but the independent-set check and the maximal
+	// merged UPDATE, but the quorum-admission check and the maximal
 	// line subgraph only change when the suspect graph's edges do.
 	isetVersion uint64
-	isetQ       int
 	isetOK      bool
 	isetValid   bool
 	lineVersion uint64
 	lineCached  *graph.LineSubgraph
 }
 
-// NewSelector creates a Follower Selection module. The configuration
-// must satisfy the §VIII assumption |Π| > 3f; NewSelector panics
-// otherwise, since the O(f) bound (and Lemma 8) does not hold below it.
+// NewSelector creates a Follower Selection module running the paper's
+// threshold system. The configuration must satisfy the §VIII assumption
+// |Π| > 3f; NewSelector panics otherwise, since the O(f) bound (and
+// Lemma 8) does not hold below it.
 func NewSelector(env runtime.Env, store *suspicion.Store, detector *fd.Detector, onQuorum OnQuorum) *Selector {
+	return NewSelectorSystem(env, store, detector, nil, onQuorum)
+}
+
+// NewSelectorSystem creates a Follower Selection module running a
+// generalized quorum system; nil means the threshold system from the
+// configuration. Callers must validate non-default specs with
+// quorum.Check before booting on them.
+func NewSelectorSystem(env runtime.Env, store *suspicion.Store, detector *fd.Detector, sys quorum.System, onQuorum OnQuorum) *Selector {
 	cfg := env.Config()
 	if !cfg.LeaderCentric() {
 		panic(fmt.Sprintf("follower: Follower Selection requires n > 3f, got %s", cfg))
 	}
+	if sys == nil {
+		sys = quorum.FromConfig(cfg)
+	}
+	if sys.N() != cfg.N {
+		panic("follower: quorum system size does not match configuration n")
+	}
+	dq, ok := quorum.Default(sys)
+	if !ok || len(dq) == 0 {
+		panic("follower: quorum system admits no quorum at all")
+	}
+	qDefault := ids.NewLeaderQuorum(dq[0], dq)
 	return &Selector{
 		env:           env,
 		store:         store,
 		detector:      detector,
 		onQuorum:      onQuorum,
 		log:           env.Logger(),
-		leader:        ids.ProcessID(1),
+		sys:           sys,
+		leader:        qDefault.Leader,
 		stable:        true,
-		qLast:         ids.NewLeaderQuorum(1, cfg.DefaultQuorum().Sorted()),
+		qLast:         qDefault,
+		qDefault:      qDefault,
 		line:          graph.NewLineSubgraph(cfg.N),
 		issuedInEpoch: make(map[uint64]int),
 	}
 }
+
+// System returns the quorum system the selector runs on.
+func (s *Selector) System() quorum.System { return s.sys }
 
 // Current returns the last issued (or initial) leader quorum.
 func (s *Selector) Current() ids.Quorum { return s.qLast }
@@ -124,24 +154,28 @@ func (s *Selector) UpdateQuorum() {
 	s.updating = true
 	defer func() { s.updating = false }()
 
-	cfg := s.env.Config()
-	q := cfg.Q()
 	startMax := s.store.MaxEpochSeen()
 	for {
-		g := s.store.SuspectGraph()
-		if !s.hasIndependentSet(g, q) {
+		g, ver := s.store.GraphSnapshot()
+		if !s.hasQuorum(g, ver) {
 			if s.store.Epoch() > startMax {
-				s.log.Logf(logging.LevelError,
-					"follower: own suspicions %s preclude any quorum of size %d; keeping %s",
-					s.store.Suspecting(), q, s.qLast)
+				if sized, isSized := s.sys.(quorum.Sized); isSized {
+					s.log.Logf(logging.LevelError,
+						"follower: own suspicions %s preclude any quorum of size %d; keeping %s",
+						s.store.Suspecting(), sized.QuorumSize(), s.qLast)
+				} else {
+					s.log.Logf(logging.LevelError,
+						"follower: own suspicions %s preclude any quorum of %s; keeping %s",
+						s.store.Suspecting(), s.sys, s.qLast)
+				}
 				return
 			}
 			// Lines 10–15: next epoch, default leader and quorum.
 			s.store.IncrementEpoch()
 			s.detector.CancelScope(Scope)
-			s.leader = ids.ProcessID(1)
+			s.leader = s.qDefault.Leader
 			s.stable = true
-			s.issueQuorum(ids.NewLeaderQuorum(1, cfg.DefaultQuorum().Sorted()))
+			s.issueQuorum(s.qDefault)
 			s.store.UpdateSuspicions(s.store.Suspecting())
 			continue
 		}
@@ -161,12 +195,13 @@ func (s *Selector) UpdateQuorum() {
 			return
 		}
 		// I am the new leader: select and broadcast followers.
-		fw, ok := SelectFollowers(l, g, q-1)
+		fw, ok := s.selectFollowersFor(l, g)
 		if !ok {
-			// Fewer than q−1 possible followers exist (transient,
-			// outside the regime the paper analyzes). Not broadcasting
-			// lets the followers' expectations expire; the resulting
-			// suspicions grow the graph and move the leader on.
+			// Too few possible followers to complete a quorum around
+			// the leader (transient, outside the regime the paper
+			// analyzes). Not broadcasting lets the followers'
+			// expectations expire; the resulting suspicions grow the
+			// graph and move the leader on.
 			s.log.Logf(logging.LevelInfo,
 				"follower: only %d possible followers for %s; withholding FOLLOWERS", len(fw), l)
 			return
@@ -184,18 +219,64 @@ func (s *Selector) UpdateQuorum() {
 	}
 }
 
-// hasIndependentSet memoizes g.HasIndependentSet(q) per
-// (graph-version, q).
-func (s *Selector) hasIndependentSet(g *graph.Graph, q int) bool {
-	ver := s.store.GraphVersion()
-	if s.isetValid && s.isetVersion == ver && s.isetQ == q {
+// hasQuorum memoizes "some quorum of the system is an independent set
+// of g" per graph version (the system is fixed for the selector's
+// lifetime).
+func (s *Selector) hasQuorum(g *graph.Graph, ver uint64) bool {
+	if s.isetValid && s.isetVersion == ver {
 		s.env.Metrics().Inc("selector.iset.cache_hits", 1)
 		return s.isetOK
 	}
 	s.env.Metrics().Inc("selector.iset.cache_misses", 1)
-	s.isetOK = g.HasIndependentSet(q)
-	s.isetVersion, s.isetQ, s.isetValid = ver, q, true
+	s.isetOK = quorum.Admits(s.sys, g)
+	s.isetVersion, s.isetValid = ver, true
 	return s.isetOK
+}
+
+// selectFollowersFor picks the leader's follower set. Threshold systems
+// take the legacy fixed-count path (byte-compatible with Definition 2);
+// generalized systems greedily grow {leader} ∪ Fw through the same
+// clean-then-tainted candidate order until it is a quorum, then prune
+// members that turned out redundant so the broadcast choice is minimal.
+func (s *Selector) selectFollowersFor(l *graph.LineSubgraph, g *graph.Graph) ([]ids.ProcessID, bool) {
+	if sized, ok := s.sys.(quorum.Sized); ok {
+		return SelectFollowers(l, g, sized.QuorumSize()-1)
+	}
+	leader := l.Leader()
+	var clean, tainted []ids.ProcessID
+	for _, p := range l.PossibleFollowers() {
+		if p == leader {
+			continue
+		}
+		if leader != ids.None && g.HasEdge(leader, p) {
+			tainted = append(tainted, p)
+		} else {
+			clean = append(clean, p)
+		}
+	}
+	candidates := append(clean, tainted...)
+	members := []ids.ProcessID{leader}
+	taken := 0
+	for _, p := range candidates {
+		if s.sys.IsQuorum(members) {
+			break
+		}
+		members = append(members, p)
+		taken++
+	}
+	if !s.sys.IsQuorum(members) {
+		return candidates, false
+	}
+	// Prune in reverse insertion order: later candidates were added
+	// under weaker need, so dropping them first yields the same set a
+	// minimal forward search would.
+	for i := len(members) - 1; i >= 1; i-- {
+		without := append(append([]ids.ProcessID{}, members[:i]...), members[i+1:]...)
+		if s.sys.IsQuorum(without) {
+			members = without
+		}
+	}
+	return members[1:], true
 }
 
 // maximalLineSubgraph memoizes graph.MaximalLineSubgraph(g) per graph
@@ -252,12 +333,17 @@ func (s *Selector) HandleFollowers(m *wire.Followers) {
 	s.issueQuorum(quorum)
 }
 
-// wellFormed checks Definition 3 against the local suspect graph.
+// wellFormed checks Definition 3 against the local suspect graph. The
+// size clause generalizes per quorum system: threshold demands exactly
+// q−1 followers; other systems demand {l} ∪ Fw to be a quorum with
+// every follower load-bearing (so a Byzantine leader cannot pad its
+// quorum with cronies beyond the minimal choice).
 func (s *Selector) wellFormed(m *wire.Followers) bool {
-	q := s.env.Config().Q()
-	// a) l ∉ Fw ∧ |Fw| = q−1, with no duplicates.
-	if len(m.Followers) != q-1 {
-		return false
+	// a) l ∉ Fw, no duplicates, and the size/quorum clause below.
+	if sized, ok := s.sys.(quorum.Sized); ok {
+		if len(m.Followers) != sized.QuorumSize()-1 {
+			return false
+		}
 	}
 	seen := ids.NewProcSet()
 	for _, fw := range m.Followers {
@@ -265,6 +351,18 @@ func (s *Selector) wellFormed(m *wire.Followers) bool {
 			return false
 		}
 		seen.Add(fw)
+	}
+	members := append([]ids.ProcessID{m.Leader}, m.Followers...)
+	if !s.sys.IsQuorum(members) {
+		return false
+	}
+	if _, ok := s.sys.(quorum.Sized); !ok {
+		for i := 1; i < len(members); i++ {
+			without := append(append([]ids.ProcessID{}, members[:i]...), members[i+1:]...)
+			if s.sys.IsQuorum(without) {
+				return false // follower i is padding, not load-bearing
+			}
+		}
 	}
 	// b) L' is a line subgraph and L' ⊆ G_i.
 	l, err := graph.LineSubgraphFromEdges(s.env.Config().N, fromWireEdges(m.Line))

@@ -7,6 +7,7 @@ import (
 	"quorumselect/internal/fd"
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/suspicion"
 	"quorumselect/internal/wire"
@@ -23,6 +24,9 @@ type NodeOptions struct {
 	// App is the optional application module (the same interface as
 	// core.Application, so applications run on either selector).
 	App core.Application
+	// Quorum is the generalized quorum system; nil means the threshold
+	// system from the configuration (see core.NodeOptions.Quorum).
+	Quorum quorum.System
 }
 
 // DefaultNodeOptions mirrors core.DefaultNodeOptions.
@@ -75,7 +79,7 @@ func NewNode(opts NodeOptions) *Node {
 		HeartbeatPeriod: opts.HeartbeatPeriod,
 		App:             opts.App,
 		NewSelection: func(env runtime.Env, store *suspicion.Store, detector *fd.Detector, issue func(ids.Quorum)) host.Selection {
-			n.Selector = NewSelector(env, store, detector, issue)
+			n.Selector = NewSelectorSystem(env, store, detector, opts.Quorum, issue)
 			return n.Selector
 		},
 	})

@@ -331,6 +331,81 @@ func (g *Graph) AllIndependentSets(q int) [][]ids.ProcessID {
 	return out
 }
 
+// FirstWeightedIndependentSet returns the lexicographically-first
+// inclusion-minimal independent set whose weights (weights[i] belongs
+// to p_{i+1}) sum to at least target, or ok=false if none exists. It
+// generalizes FirstIndependentSet to weighted quorum systems: unit
+// weights with target q reproduce its answer exactly on graphs that
+// admit one.
+//
+// Minimality is enforced at the leaves: a lexicographic walk can reach
+// the target carrying redundant light members (weights {1,5} with
+// target 5 reaches 6 via {p1,p2}, but the minimal set is {p2}), so a
+// leaf where some chosen member is not load-bearing is rejected and the
+// search continues — the minimal set inside it is found on a later
+// branch. Zero-weight nodes are never chosen.
+func (g *Graph) FirstWeightedIndependentSet(weights []int, target int) (set []ids.ProcessID, ok bool) {
+	if len(weights) != g.n {
+		panic(fmt.Sprintf("graph: %d weights for n=%d nodes", len(weights), g.n))
+	}
+	if target <= 0 {
+		return []ids.ProcessID{}, true
+	}
+	// Suffix sums prune branches that cannot reach the target even
+	// taking every remaining node.
+	suffix := make([]int, g.n+1)
+	for i := g.n - 1; i >= 0; i-- {
+		w := weights[i]
+		if w < 0 {
+			w = 0
+		}
+		suffix[i] = suffix[i+1] + w
+	}
+	scratch := getScratch((g.n + 1) * g.words)
+	defer putScratch(scratch)
+	buf := *scratch
+	chosen := make([]int, 0, g.n)
+	conflict := func(d int) bitset { return buf[d*g.words : (d+1)*g.words] }
+	var walk func(next, sum int) bool
+	walk = func(next, sum int) bool {
+		if sum >= target {
+			for _, v := range chosen {
+				if sum-weights[v] >= target {
+					return false // redundant member: not minimal
+				}
+			}
+			return true
+		}
+		c := conflict(len(chosen))
+		for v := c.nextClearBit(next, g.n); v < g.n; v = c.nextClearBit(v+1, g.n) {
+			if weights[v] <= 0 {
+				continue
+			}
+			if sum+suffix[v] < target {
+				return false // even taking everything from v on falls short
+			}
+			nc := conflict(len(chosen) + 1)
+			nc.copyFrom(c)
+			nc.orWith(g.adj[v])
+			nc.set(v)
+			chosen = append(chosen, v)
+			if walk(v+1, sum+weights[v]) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if !walk(0, 0) {
+		return nil, false
+	}
+	out := make([]ids.ProcessID, len(chosen))
+	for i, v := range chosen {
+		out[i] = ids.ProcessID(v + 1)
+	}
+	return out, true
+}
+
 // PruneEdges removes every edge {u, v} (u < v) for which keep returns
 // false and reports how many edges were removed. It visits each edge
 // once and allocates nothing — the suspicion store uses it to advance

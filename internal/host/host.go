@@ -28,6 +28,7 @@ import (
 	"quorumselect/internal/fd"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/obs"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/storage"
 	"quorumselect/internal/suspicion"
@@ -289,6 +290,20 @@ func (h *Host) Quorums() []ids.Quorum {
 // CurrentQuorum returns the selection module's current quorum
 // (ModeQuorumSelection only).
 func (h *Host) CurrentQuorum() ids.Quorum { return h.Selection.Current() }
+
+// QuorumSystem returns the generalized quorum system the selection
+// module runs on, or nil when the kernel has no selection module (or
+// one predating the quorum abstraction). Status endpoints use it to
+// report the active spec.
+func (h *Host) QuorumSystem() quorum.System {
+	if h.Selection == nil {
+		return nil
+	}
+	if s, ok := h.Selection.(interface{ System() quorum.System }); ok {
+		return s.System()
+	}
+	return nil
+}
 
 // issueQuorum records a ⟨QUORUM, Q⟩ event and fans it out to the
 // application.

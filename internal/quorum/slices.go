@@ -1,0 +1,224 @@
+package quorum
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"quorumselect/internal/ids"
+)
+
+// MaxSlicesN bounds slice-system size: the FBAS fixpoint and the
+// minimal-quorum enumeration both walk subsets of Π, so n stays within
+// MaxEnumerateN where the exact machinery is tractable.
+const MaxSlicesN = MaxEnumerateN
+
+// Slices is an FBAS-style asymmetric quorum system (Stellar; Gaul et
+// al.): each process p declares a list of quorum slices — sets of
+// processes p is willing to rely on. A non-empty set S is a quorum iff
+// every member v ∈ S has at least one of its slices entirely inside S.
+// Unlike threshold and weighted systems this predicate is NOT monotone
+// in general (a superset can break a member's slice condition only in
+// contrived specs, but containment still needs the fixpoint — see
+// ContainsQuorum).
+type Slices struct {
+	n int
+	// slices[i] holds p_{i+1}'s slices as bitmasks over Π (bit j ↦
+	// p_{j+1}); each mask includes the owner itself, the usual FBAS
+	// normalization.
+	slices [][]uint32
+	// text keeps the per-process slice member lists (without the
+	// implicit owner) for String round-tripping.
+	text [][][]ids.ProcessID
+}
+
+// NewSlices builds a slice system over n processes. spec[i] lists
+// p_{i+1}'s slices; each slice is a set of process ids (the owner is
+// implicitly added to each of its own slices). Every process must
+// declare at least one slice, and every referenced id must be valid.
+func NewSlices(n int, spec [][][]ids.ProcessID) (*Slices, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("quorum: slices needs n >= 1, got n=%d", n)
+	}
+	if n > MaxSlicesN {
+		return nil, fmt.Errorf("quorum: slices supports at most %d processes, got %d", MaxSlicesN, n)
+	}
+	if len(spec) != n {
+		return nil, fmt.Errorf("quorum: slices needs one slice list per process, got %d lists for n=%d", len(spec), n)
+	}
+	s := &Slices{n: n, slices: make([][]uint32, n), text: make([][][]ids.ProcessID, n)}
+	for i, list := range spec {
+		owner := ids.ProcessID(i + 1)
+		if len(list) == 0 {
+			return nil, fmt.Errorf("quorum: %s declares no slices", owner)
+		}
+		for _, slice := range list {
+			mask := uint32(1) << uint(i)
+			members := make([]ids.ProcessID, 0, len(slice))
+			for _, p := range slice {
+				if !p.Valid(n) {
+					return nil, fmt.Errorf("quorum: slice of %s references invalid process p%d (n=%d)", owner, int(p), n)
+				}
+				if p != owner {
+					members = append(members, p)
+				}
+				mask |= uint32(1) << uint(int(p)-1)
+			}
+			sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+			s.slices[i] = append(s.slices[i], mask)
+			s.text[i] = append(s.text[i], members)
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of processes.
+func (s *Slices) N() int { return s.n }
+
+// mask converts a member list to a bitmask, dropping duplicates and
+// invalid ids.
+func (s *Slices) mask(members []ids.ProcessID) uint32 {
+	var m uint32
+	for _, p := range members {
+		if p.Valid(s.n) {
+			m |= uint32(1) << uint(int(p)-1)
+		}
+	}
+	return m
+}
+
+// isQuorumMask reports the FBAS quorum predicate on a bitmask: the set
+// is non-empty and every member has some slice contained in it.
+func (s *Slices) isQuorumMask(set uint32) bool {
+	if set == 0 {
+		return false
+	}
+	for rest := set; rest != 0; rest &= rest - 1 {
+		i := bits.TrailingZeros32(rest)
+		ok := false
+		for _, sl := range s.slices[i] {
+			if sl&^set == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsQuorum reports whether the member set satisfies the slice predicate.
+func (s *Slices) IsQuorum(members []ids.ProcessID) bool {
+	return s.isQuorumMask(s.mask(members))
+}
+
+// ContainsQuorum reports whether set contains some quorum, via the FBAS
+// greatest-quorum fixpoint: repeatedly delete members with no slice
+// inside the remainder; the set contains a quorum iff the fixpoint is
+// non-empty (it is then the greatest quorum inside set).
+func (s *Slices) ContainsQuorum(set ids.ProcSet) bool {
+	cur := s.mask(set.Sorted())
+	for {
+		next := cur
+		for rest := cur; rest != 0; rest &= rest - 1 {
+			i := bits.TrailingZeros32(rest)
+			ok := false
+			for _, sl := range s.slices[i] {
+				if sl&^cur == 0 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				next &^= uint32(1) << uint(i)
+			}
+		}
+		if next == cur {
+			return cur != 0
+		}
+		cur = next
+	}
+}
+
+// MinQuorums enumerates every inclusion-minimal quorum in lexicographic
+// order by exhaustive subset walk (n ≤ MaxSlicesN keeps this 2^n ≤ 64K
+// predicate evaluations). Because the predicate is not monotone,
+// minimality is checked against ALL proper subsets that are quorums,
+// not just single-member removals.
+func (s *Slices) MinQuorums() [][]ids.ProcessID {
+	full := uint32(1)<<uint(s.n) - 1
+	var quorums []uint32
+	for set := uint32(1); set <= full; set++ {
+		if s.isQuorumMask(set) {
+			quorums = append(quorums, set)
+		}
+	}
+	var minimal [][]ids.ProcessID
+	for _, q := range quorums {
+		isMin := true
+		for _, other := range quorums {
+			if other != q && other&^q == 0 {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, maskToMembers(q))
+		}
+	}
+	sort.Slice(minimal, func(a, b int) bool {
+		return ids.NewQuorum(minimal[a]).Less(ids.NewQuorum(minimal[b]))
+	})
+	if minimal == nil {
+		minimal = [][]ids.ProcessID{}
+	}
+	return minimal
+}
+
+// Survives reports whether the processes outside the fault set still
+// contain a quorum.
+func (s *Slices) Survives(faults ids.ProcSet) bool {
+	alive := ids.NewProcSet()
+	for v := 1; v <= s.n; v++ {
+		p := ids.ProcessID(v)
+		if !faults.Contains(p) {
+			alive.Add(p)
+		}
+	}
+	return s.ContainsQuorum(alive)
+}
+
+// String renders the spec in ParseSpec syntax, e.g.
+// "slices:n=4;1={2}|{3};2={1};3={4};4={3}" (owner implicit per slice).
+func (s *Slices) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slices:n=%d", s.n)
+	for i, list := range s.text {
+		fmt.Fprintf(&b, ";%d=", i+1)
+		for j, slice := range list {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteByte('{')
+			for k, p := range slice {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", int(p))
+			}
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+func maskToMembers(mask uint32) []ids.ProcessID {
+	var out []ids.ProcessID
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		out = append(out, ids.ProcessID(bits.TrailingZeros32(rest)+1))
+	}
+	return out
+}

@@ -394,6 +394,19 @@ func (s *Store) SuspectGraph() *graph.Graph {
 	return s.cache
 }
 
+// GraphSnapshot returns the current suspect graph together with its
+// version counter, under one lock acquisition. Selectors memoizing
+// graph-derived results (the generalized quorum selection in core and
+// follower) need the pair to be mutually consistent: reading them with
+// two calls could pair an old graph with a new version and pin a stale
+// memo.
+func (s *Store) GraphSnapshot() (*graph.Graph, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheShared = true
+	return s.cache, s.version
+}
+
 // GraphVersion returns a counter that changes whenever the edge set of
 // SuspectGraph changes, letting selectors memoize derived results
 // (e.g. the lexicographically-first independent set) per version.

@@ -1,0 +1,99 @@
+package transport_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/fleet"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/wire"
+)
+
+// TestFleetRoutingEndToEnd pins the frontend-to-kernel routing
+// contract over real TCP: a keyed operation routed the way the HTTP
+// frontend routes it (consistent hash of the second whitespace field)
+// must commit end to end on every replica of the OWNING shard and on no
+// other shard. Run under -race this also exercises the host event
+// loops, the shard mux, and the router concurrently.
+func TestFleetRoutingEndToEnd(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	auth := crypto.NewHMACRing(cfg, []byte("fleet-routing"))
+	const shards = 3
+	hosts, replicas, leaders, shutdown := newFleetTCPCluster(t, cfg, auth, shards, 8, 1, 0, 0)
+	defer shutdown()
+
+	// The same router every frontend in the cluster builds: placement is
+	// a pure function of (key, shards), so this test computes the exact
+	// placement a real HTTP frontend would.
+	router := fleet.NewRouter(shards)
+	const keys = 12
+	perShard := make(map[int][]string, shards)
+	counts := make([]uint64, shards)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("route-key-%d", i)
+		op := fmt.Sprintf("set %s v%d", key, i)
+		s := router.RouteString(key)
+		perShard[s] = append(perShard[s], op)
+		counts[s]++
+		seq := counts[s]
+		lead, rep := leaders[s], replicas[s][leaders[s]]
+		hosts[lead].Do(func() {
+			rep.Submit(&wire.Request{Client: uint64(100 + s), Seq: seq, Op: []byte(op)})
+		})
+	}
+	for s := 0; s < shards; s++ {
+		if len(perShard[s]) == 0 {
+			t.Fatalf("shard %d drew no keys — router degenerated", s)
+		}
+	}
+
+	// Every replica of every shard must drain its shard's workload (not
+	// just the leader: commit means full-group execution).
+	for s := 0; s < shards; s++ {
+		want := counts[s]
+		for _, p := range cfg.All() {
+			rep := replicas[s][p]
+			ok := waitFor(t, 30*time.Second, func() bool {
+				var exec uint64
+				hosts[p].Do(func() { exec = rep.LastExecuted() })
+				return exec >= want
+			})
+			if !ok {
+				t.Fatalf("shard %d replica %s stalled: executed fewer than %d", s, p, want)
+			}
+		}
+	}
+
+	// Placement: each op executed exactly on its owning shard, on every
+	// replica of that shard, and nowhere else.
+	for s := 0; s < shards; s++ {
+		owned := make(map[string]bool, len(perShard[s]))
+		for _, op := range perShard[s] {
+			owned[op] = true
+		}
+		for _, p := range cfg.All() {
+			rep := replicas[s][p]
+			var ops []string
+			hosts[p].Do(func() {
+				for _, e := range rep.Executions() {
+					ops = append(ops, string(e.Op))
+				}
+			})
+			if len(ops) != len(perShard[s]) {
+				t.Fatalf("shard %d replica %s executed %d ops %v, want the %d routed ops",
+					s, p, len(ops), ops, len(perShard[s]))
+			}
+			for _, op := range ops {
+				if !owned[op] {
+					t.Fatalf("shard %d replica %s executed %q, which the router placed elsewhere", s, p, op)
+				}
+				if !strings.HasPrefix(op, "set route-key-") {
+					t.Fatalf("shard %d replica %s executed unexpected op %q", s, p, op)
+				}
+			}
+		}
+	}
+}

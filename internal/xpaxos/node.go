@@ -13,8 +13,19 @@ import (
 // NewQSNode composes an XPaxos replica with the full quorum-selection
 // stack of Figure 1 (failure detector, suspicion store, Algorithm 1
 // selector). The returned node and replica run in ModeQuorumSelection.
+// The quorum system may arrive on either options struct (Options.System
+// for the replica, NodeOptions.Quorum for the selector); NewQSNode
+// syncs them so the certificate path and the selection path can never
+// disagree on what a quorum is.
 func NewQSNode(opts Options, nodeOpts core.NodeOptions) (*core.Node, *Replica) {
 	opts.Mode = ModeQuorumSelection
+	if opts.System == nil {
+		opts.System = nodeOpts.Quorum
+	} else if nodeOpts.Quorum == nil {
+		nodeOpts.Quorum = opts.System
+	} else if opts.System.String() != nodeOpts.Quorum.String() {
+		panic("xpaxos: Options.System and NodeOptions.Quorum disagree")
+	}
 	r := NewReplica(opts)
 	nodeOpts.App = r
 	return core.NewNode(nodeOpts), r

@@ -13,6 +13,7 @@ import (
 	"quorumselect/internal/logging"
 	"quorumselect/internal/obs"
 	"quorumselect/internal/obs/tracer"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/wire"
 )
@@ -72,6 +73,15 @@ type Options struct {
 	// lockstep-free behavior of the unwindowed design. Followers accept
 	// out of order regardless; execution is in slot order either way.
 	Window int
+	// System is the generalized quorum system the replica runs on; nil
+	// means the paper's n−f threshold system from the configuration.
+	// The view enumeration walks the system's minimal quorums and
+	// certificate acceptance asks System.IsQuorum instead of counting
+	// signatures to q. All replicas of one group must agree on it, and
+	// callers must validate non-default specs with quorum.Check first —
+	// an intersection-violating spec lets disjoint signer sets both
+	// certify.
+	System quorum.System
 }
 
 // checkpoint is a stable checkpoint: the replica's state after
@@ -110,6 +120,7 @@ type Replica struct {
 	cfg      ids.Config
 	log      logging.Logger
 
+	sys         quorum.System
 	enumeration []ids.Quorum
 	view        uint64
 	active      ids.Quorum
@@ -186,7 +197,14 @@ func (r *Replica) Attach(env runtime.Env, detector *fd.Detector) {
 	r.detector = detector
 	r.cfg = env.Config()
 	r.log = env.Logger()
-	r.enumeration = ids.EnumerateQuorums(r.cfg.N, r.cfg.Q())
+	r.sys = r.opts.System
+	if r.sys == nil {
+		r.sys = quorum.FromConfig(r.cfg)
+	}
+	if r.sys.N() != r.cfg.N {
+		panic("xpaxos: quorum system size does not match configuration n")
+	}
+	r.enumeration = enumerationFor(r.sys)
 	r.view = r.opts.InitialView
 	r.active = r.quorumAt(r.view)
 	r.nextSlot = 1
@@ -241,10 +259,51 @@ func (r *Replica) Executions() []Execution {
 	return out
 }
 
+// System returns the quorum system the replica runs on.
+func (r *Replica) System() quorum.System { return r.sys }
+
 // quorumAt maps a view number to its quorum: the lexicographic
-// enumeration, round-robin (§V-B).
+// enumeration of the system's minimal quorums, round-robin (§V-B).
 func (r *Replica) quorumAt(v uint64) ids.Quorum {
 	return r.enumeration[int(v%uint64(len(r.enumeration)))]
+}
+
+// enumerationFor builds the view→quorum enumeration of a system: the
+// threshold fast path reuses ids.EnumerateQuorums (identical to the
+// original §V-B enumeration, byte for byte); generalized systems walk
+// their minimal quorums. A system too large to enumerate cannot drive
+// XPaxos views — that is a deployment-configuration error, caught at
+// Attach rather than silently mapping views to arbitrary quorums.
+func enumerationFor(sys quorum.System) []ids.Quorum {
+	if t, ok := sys.(quorum.Threshold); ok {
+		return ids.EnumerateQuorums(t.N(), t.QuorumSize())
+	}
+	mq := sys.MinQuorums()
+	if len(mq) == 0 {
+		panic(fmt.Sprintf("xpaxos: quorum system %s has no enumerable quorums", sys))
+	}
+	out := make([]ids.Quorum, len(mq))
+	for i, m := range mq {
+		out[i] = ids.NewQuorum(m)
+	}
+	return out
+}
+
+// quorumIndex maps an issued quorum back to its view-enumeration slot,
+// or -1 when the quorum is not one the system enumerates. Threshold
+// systems answer arithmetically (ids.QuorumIndex); generalized systems
+// scan their (bounded, pre-materialized) enumeration.
+func (r *Replica) quorumIndex(q ids.Quorum) int {
+	if _, ok := r.sys.(quorum.Threshold); ok {
+		return ids.QuorumIndex(r.cfg.N, ids.NewQuorum(q.Members))
+	}
+	want := ids.NewQuorum(q.Members)
+	for i, e := range r.enumeration {
+		if e.Equal(want) {
+			return i
+		}
+	}
+	return -1
 }
 
 // FirstViewLedBy returns the lowest view whose quorum is led by p, and
@@ -682,9 +741,12 @@ func (r *Replica) tryCommit(slot uint64, e *entry) {
 }
 
 // onCommitCert verifies a lazy-replication certificate and adopts the
-// committed request: n−f distinct validly signed COMMITs embedding the
-// same valid PREPARE for this slot. At least one signer is correct and
-// committed the slot, so the value is the decided one.
+// committed request: a quorum of distinct validly signed COMMITs (per
+// the replica's quorum system — n−f of them under the default threshold
+// spec) embedding the same valid PREPARE for this slot. Quorum
+// intersection guarantees at least one signer is correct and committed
+// the slot, so the value is the decided one — which is exactly why an
+// intersection-violating spec must never get this far.
 func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 	if _, have := r.committedReq[cert.Slot]; have || cert.Slot <= r.lastExec {
 		return
@@ -726,7 +788,7 @@ func (r *Replica) onCommitCert(cert *wire.CommitCert) {
 		}
 		signers.Add(c.Replica)
 	}
-	if prep == nil || signers.Len() < r.cfg.Q() {
+	if prep == nil || !r.sys.IsQuorum(signers.Sorted()) {
 		r.env.Metrics().Inc("xpaxos.cert.rejected", 1)
 		r.log.Logf(logging.LevelDebug, "xpaxos: rejecting commit certificate for slot %d", cert.Slot)
 		return

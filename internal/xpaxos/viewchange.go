@@ -20,7 +20,7 @@ func (r *Replica) OnQuorum(q ids.Quorum) {
 	if r.opts.Mode != ModeQuorumSelection {
 		return
 	}
-	target := ids.QuorumIndex(r.cfg.N, ids.NewQuorum(q.Members))
+	target := r.quorumIndex(q)
 	if target < 0 {
 		r.log.Logf(logging.LevelError, "xpaxos: quorum %s not in enumeration", q)
 		return

@@ -13,6 +13,7 @@ import (
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs"
 	"quorumselect/internal/obs/tracer"
+	"quorumselect/internal/quorum"
 	"quorumselect/internal/runtime"
 	"quorumselect/internal/sim"
 	"quorumselect/internal/storage"
@@ -122,6 +123,16 @@ type (
 	// ShardRouter is the consistent-hash key → shard router fleet
 	// frontends use.
 	ShardRouter = fleet.Router
+	// QuorumSystem is a generalized Byzantine quorum system (threshold,
+	// weighted, or slice-based); wire one into NodeOptions.Quorum /
+	// XPaxosOptions.System to run selection and the certificate path on
+	// a non-threshold spec (see internal/quorum).
+	QuorumSystem = quorum.System
+	// QuorumCheckOptions tune the intersection/availability checker.
+	QuorumCheckOptions = quorum.CheckOptions
+	// QuorumReport is the checker's verdict (intersection, availability,
+	// witnesses, and — when sampled — the confidence bound).
+	QuorumReport = quorum.Report
 )
 
 // NewEventBus returns an event bus retaining up to capacity events
@@ -150,6 +161,21 @@ func NewProcSet(ps ...ProcessID) ProcSet { return ids.NewProcSet(ps...) }
 
 // NewQuorum builds a quorum from members.
 func NewQuorum(members []ProcessID) Quorum { return ids.NewQuorum(members) }
+
+// ParseQuorumSpec parses a quorum-system spec string —
+// "threshold:n=4;f=1", "weighted:w=3,1,1,1;t=4", or
+// "slices:n=4;1={2,3}|{3,4};..." — into a QuorumSystem. Parsing only
+// validates well-formedness; run CheckQuorumSystem before trusting a
+// spec with safety.
+func ParseQuorumSpec(spec string) (QuorumSystem, error) { return quorum.ParseSpec(spec) }
+
+// CheckQuorumSystem verifies quorum intersection and f-availability of
+// a system: exactly (bitset enumeration) up to the configured size,
+// seeded randomized sampling with a reported confidence bound beyond.
+// Report.Err() is non-nil for an unsafe or unavailable spec.
+func CheckQuorumSystem(sys QuorumSystem, opts QuorumCheckOptions) QuorumReport {
+	return quorum.Check(sys, opts)
+}
 
 // DefaultNodeOptions returns the standard Quorum Selection composition:
 // adaptive failure detection, update forwarding, 25ms heartbeats.
