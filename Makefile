@@ -8,7 +8,7 @@ BENCHTIME ?= 100ms
 # Seeds per protocol for `make chaos`.
 CHAOS_SEEDS ?= 50
 
-.PHONY: all build test race vet check clean golden bench bench-smoke chaos chaos-sharded chaos-unsafe-spec quorum-check fuzz-smoke cover
+.PHONY: all build test race vet check clean golden bench bench-smoke loadgen-smoke chaos chaos-sharded chaos-unsafe-spec quorum-check fuzz-smoke cover
 
 all: build
 
@@ -31,13 +31,15 @@ check:
 	$(GO) test -race ./...
 
 # bench runs every benchmark with allocation stats and writes the
-# machine-readable report BENCH_PR8.json (see cmd/benchjson), including
-# the pipelined window sweep, the fleet shard-scaling sweep, the verify
-# amortizations, the tracing-overhead ratio, and the commit-path stage
-# breakdown.
+# machine-readable report BENCH_PR10.json (see cmd/benchjson),
+# including the pipelined window sweep, the fleet shard-scaling sweep,
+# the verify amortizations, the tracing-overhead ratio, the commit-path
+# stage breakdown, and the open-loop load sweep across WAN topologies
+# (gated on at least one load point sustaining its offered rate).
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 1 ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR10.json \
+			-require 'loadgen.openloop.goodput>=0.9'
 
 # bench-smoke is the CI regression gate: a brief window sweep + fleet
 # scaling sweep + cert verification pass that fails if the pipeline has
@@ -52,6 +54,27 @@ bench-smoke:
 			-require 'xpaxos.pipeline.throughput_x.16>=1.0' \
 			-require 'fleet.scaling.throughput_x.4>=1.5' \
 			-require 'crypto.verify.cert_batch_speedup_x>=1.0'
+
+# loadgen-smoke drives a real 4-process, 2-shard TCP cluster with the
+# open-loop generator over loopback HTTP frontends: a short Poisson run
+# that must sustain its offered rate (goodput >= 0.9) with a sane p99,
+# or the target fails. This is the end-to-end gate for cmd/loadgen's
+# tcp mode, the HTTP ingress, and the sharded fleet together.
+loadgen-smoke:
+	set -e; tmp=$$(mktemp -d); trap 'kill $$(cat $$tmp/pids) 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/xpaxos ./cmd/xpaxos; \
+	$(GO) build -o $$tmp/loadgen ./cmd/loadgen; \
+	peers=127.0.0.1:7471,127.0.0.1:7472,127.0.0.1:7473,127.0.0.1:7474; \
+	for i in 1 2 3 4; do \
+		$$tmp/xpaxos -id $$i -peers $$peers -f 1 -shards 2 -window 16 \
+			-http 127.0.0.1:847$$i >$$tmp/xpaxos-$$i.log 2>&1 & \
+		echo $$! >> $$tmp/pids; \
+	done; \
+	$$tmp/loadgen -mode tcp \
+		-targets 127.0.0.1:8471,127.0.0.1:8472,127.0.0.1:8473,127.0.0.1:8474 \
+		-wait-ready 30s -arrivals poisson:rate=400 -keys zipf:n=2000,s=1.1 \
+		-duration 5s -inflight 128 -seed 7 \
+		-require-goodput 0.9 -require-p99-ms 500 -o $$tmp/loadgen-smoke.json
 
 # chaos sweeps CHAOS_SEEDS seeds of the scenario fuzzer per protocol
 # and fails on the first invariant violation, printing the violating

@@ -3,13 +3,15 @@
 // name → {ns/op, B/op, allocs/op, custom metrics} entry; the
 // suspect-graph build-vs-cached pairs, the XPaxos batched-throughput
 // sweep, the pipelined window sweep, the WAL group-commit sweep, the
-// tracing-overhead pair, the commit-path stage breakdown, and the
-// authenticator/cert-verification amortizations are summarised as
-// derived speedup/amortization/overhead ratios. Input lines are echoed
+// tracing-overhead pair, the commit-path stage breakdown, the
+// authenticator/cert-verification amortizations, and the open-loop
+// load-generator sweep (p50/p99/p999 vs offered load per topology,
+// plus crash-recovery tail metrics) are summarised as derived
+// speedup/amortization/overhead ratios. Input lines are echoed
 // to stdout so the command can sit at the end of a pipe without hiding
 // the run:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR8.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR10.json
 //
 // Repeatable -require flags turn the report into a regression gate:
 //
@@ -76,7 +78,7 @@ func (rs *requirements) Set(s string) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output JSON file")
+	out := flag.String("o", "BENCH_PR10.json", "output JSON file")
 	var reqs requirements
 	flag.Var(&reqs, "require", "derived metric bound 'key>=value' (repeatable); exit 1 if missing or below")
 	flag.Parse()
@@ -113,6 +115,7 @@ func main() {
 	deriveWALAmortization(&rep)
 	deriveTraceOverhead(&rep)
 	deriveStagePct(&rep)
+	deriveOpenLoop(&rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -373,6 +376,53 @@ func deriveStagePct(rep *Report) {
 				rep.Derived["commit_path.stage_pct."+stage] = v
 			}
 		}
+	}
+}
+
+// deriveOpenLoop lifts the open-loop load-generator sweep into derived
+// entries. Each BenchmarkOpenLoopSim/topo=T/rate=R point becomes
+// loadgen.openloop.<metric>.<T>.<R> for p50_ms/p99_ms/p999_ms/goodput/
+// goodput_rps — the p99-vs-offered-load surface per WAN topology.
+// loadgen.openloop.goodput aggregates the best goodput ratio across
+// points and is the CI regression gate: below 0.9 every measured load
+// point is shedding or timing out, i.e. the commit path can no longer
+// sustain even the lightest offered load. The crash-restart benchmark
+// contributes loadgen.openloop.recovery.{baseline_p99_ms,spike_p99_ms,
+// recovery_ms}, and the pure generator-engine benchmark
+// loadgen.openloop.gen_rps.
+func deriveOpenLoop(rep *Report) {
+	const simPrefix = "BenchmarkOpenLoopSim/"
+	best := -1.0
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, simPrefix) {
+			// topo=geo3/rate=400 → geo3.400
+			point := strings.TrimPrefix(b.Name, simPrefix)
+			point = strings.ReplaceAll(point, "topo=", "")
+			point = strings.ReplaceAll(point, "/rate=", ".")
+			for _, m := range []string{"p50_ms", "p99_ms", "p999_ms", "goodput", "goodput_rps"} {
+				if v, ok := b.Metrics[m]; ok {
+					rep.Derived["loadgen.openloop."+m+"."+point] = v
+				}
+			}
+			if g, ok := b.Metrics["goodput"]; ok && g > best {
+				best = g
+			}
+		}
+		if b.Name == "BenchmarkOpenLoopRecovery" {
+			for _, m := range []string{"baseline_p99_ms", "spike_p99_ms", "recovery_ms"} {
+				if v, ok := b.Metrics[m]; ok {
+					rep.Derived["loadgen.openloop.recovery."+m] = v
+				}
+			}
+		}
+		if b.Name == "BenchmarkOpenLoopGen" {
+			if v, ok := b.Metrics["goodput_rps"]; ok {
+				rep.Derived["loadgen.openloop.gen_rps"] = v
+			}
+		}
+	}
+	if best >= 0 {
+		rep.Derived["loadgen.openloop.goodput"] = best
 	}
 }
 

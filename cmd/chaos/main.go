@@ -19,6 +19,7 @@ import (
 
 	"quorumselect/internal/chaos"
 	"quorumselect/internal/metrics"
+	"quorumselect/internal/sim"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		traceDump   = flag.String("trace-dump", "", "write the flight-recorder dump (spans + events JSON) of a replayed or violating seed to this file")
 		sharded     = flag.Bool("sharded", false, "run the sharded-partition fleet scenario instead of the generic protocol sweep")
 		shards      = flag.Int("shards", 3, "fleet width for -sharded")
+		topology    = flag.String("topology", "", "WAN topology spec file (see examples/topologies/): replaces the LAN latency band and scales FD timeouts")
 		unsafeSpec  = flag.Bool("unsafe-spec", false, "run the unsafe-spec adversary: the intersection checker must reject the spec before boot")
 		spec        = flag.String("spec", "", "quorum spec for -unsafe-spec (default: the disjoint slices spec)")
 		forceUnsafe = flag.Bool("force-unsafe", false, "with -unsafe-spec: boot a cluster on the spec anyway and demand the disjoint-certificate fork (exit 0 iff demonstrated)")
@@ -61,6 +63,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var topo *sim.BoundTopology
+	if *topology != "" {
+		t, err := sim.LoadTopology(*topology)
+		if err != nil {
+			fatal(err)
+		}
+		if topo, err = t.Bind(*n); err != nil {
+			fatal(err)
+		}
+	}
 
 	reg := metrics.NewRegistry()
 	failed := false
@@ -77,6 +89,7 @@ func main() {
 			Seeds:       *seeds,
 			FirstSeed:   *first,
 			Metrics:     reg,
+			Topology:    topo,
 		}
 		if *seed >= 0 {
 			dump, fl, v := chaos.ReplayDump(cfg, *seed)

@@ -17,6 +17,7 @@ import (
 	"quorumselect/internal/ids"
 	"quorumselect/internal/metrics"
 	"quorumselect/internal/obs/tracer"
+	"quorumselect/internal/sim"
 	"quorumselect/internal/trace"
 	"quorumselect/internal/wire"
 	"quorumselect/internal/xpaxos"
@@ -94,6 +95,12 @@ type Config struct {
 	// the harness would notice a protocol that skips its
 	// persist-before-act barrier.
 	TamperSkipSync bool
+	// Topology, when set, replaces the default LAN latency band with a
+	// WAN topology's link model (its partition windows chain in front of
+	// the generated fault filter) and scales failure-detector timeouts
+	// to the worst one-way delay, so chaos campaigns run against the
+	// same region geometry the load generator uses.
+	Topology *sim.BoundTopology
 }
 
 func (c Config) withDefaults() Config {

@@ -7,6 +7,7 @@ import (
 
 	"quorumselect/internal/core"
 	"quorumselect/internal/crypto"
+	"quorumselect/internal/fd"
 	"quorumselect/internal/host"
 	"quorumselect/internal/ids"
 	"quorumselect/internal/logging"
@@ -125,6 +126,7 @@ type cluster struct {
 	batchSize int
 	window    int
 	skipSync  bool
+	fdOpts    fd.Options
 	net       *sim.Network
 	members   map[ids.ProcessID]*member
 	rec       *trace.Recorder
@@ -144,9 +146,26 @@ func newCluster(cfg ids.Config, run Config, seed int64, filter sim.Filter) *clus
 		batchSize: run.BatchSize,
 		window:    run.Window,
 		skipSync:  run.TamperSkipSync,
+		fdOpts:    core.DefaultNodeOptions().FD,
 		members:   make(map[ids.ProcessID]*member, cfg.N),
 		bus:       obs.NewBus(0),
 		spans:     tracer.New(0),
+	}
+	latency := sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond)
+	if run.Topology != nil {
+		latency = run.Topology.LatencyModel()
+		// A WAN link slower than the LAN-tuned failure detector would
+		// turn every heartbeat into a false suspicion — the same scaling
+		// the load generator's sim mode applies.
+		if oneWay := run.Topology.MaxOneWay(); 4*oneWay > c.fdOpts.BaseTimeout {
+			c.fdOpts.BaseTimeout = 4 * oneWay
+			if 10*c.fdOpts.BaseTimeout > c.fdOpts.MaxTimeout {
+				c.fdOpts.MaxTimeout = 10 * c.fdOpts.BaseTimeout
+			}
+		}
+		if lf := run.Topology.LinkFilter(); lf != nil {
+			filter = sim.ChainFilters(lf, filter)
+		}
 	}
 	nodes := make(map[ids.ProcessID]runtime.Node, cfg.N)
 	for _, p := range cfg.All() {
@@ -160,7 +179,7 @@ func newCluster(cfg ids.Config, run Config, seed int64, filter sim.Filter) *clus
 	c.net = sim.NewNetwork(cfg, nodes, sim.Options{
 		Metrics:      run.Metrics,
 		Seed:         seed,
-		Latency:      sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond),
+		Latency:      latency,
 		Filter:       filter,
 		Auth:         crypto.NewHMACRing(cfg, []byte("chaos-master")),
 		Logger:       c.rec,
@@ -184,6 +203,7 @@ func (c *cluster) newMember(backend *storage.MemBackend) *member {
 		}
 	}
 	nodeOpts := core.DefaultNodeOptions()
+	nodeOpts.FD = c.fdOpts
 	if backend != nil {
 		nodeOpts.Storage = backend
 	}

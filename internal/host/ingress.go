@@ -96,6 +96,15 @@ func (in *Ingress) gateOpen() bool { return in.gate == nil || in.gate() }
 // Pending returns how many requests are buffered awaiting a flush.
 func (in *Ingress) Pending() int { return len(in.buf) }
 
+// noteDepth publishes the buffer depth as the host.ingress.pending
+// node gauge. Under an open-loop workload this is the backpressure
+// reservoir's fill level: it sits near zero while the commit window
+// keeps up and climbs when the gate closes, so an overloaded or
+// fault-stalled leader is visible without tracing.
+func (in *Ingress) noteDepth() {
+	runtime.SetNodeGauge(in.env, "host.ingress.pending", float64(len(in.buf)))
+}
+
 // Submit buffers one request. When the buffer reaches BatchSize the
 // batch flushes synchronously (so at BatchSize 1 Submit degenerates to
 // a direct call into flush, matching the unbatched proposal path);
@@ -126,6 +135,7 @@ func (in *Ingress) Submit(req *wire.Request) error {
 		in.Flush()
 		return nil
 	}
+	in.noteDepth()
 	if in.timer == nil {
 		in.timer = in.env.After(in.opts.MaxLatency, func() {
 			in.timer = nil
@@ -188,6 +198,7 @@ func (in *Ingress) Flush() {
 		}
 	}
 	in.flushing = false
+	in.noteDepth()
 	if len(in.buf) > 0 {
 		// Gated residue: its original span (if any) ended with the first
 		// chunk, so open a fresh one covering the continued wait, and
@@ -221,5 +232,6 @@ func (in *Ingress) Stop() {
 		in.timer = nil
 	}
 	in.buf = nil
+	in.noteDepth()
 	in.span = tracer.Active{} // dropped, never recorded
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quorumselect/internal/host"
+	"quorumselect/internal/metrics"
 	"quorumselect/internal/wire"
 )
 
@@ -117,5 +118,47 @@ func TestIngressEdgeCases(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestIngressPendingGauge pins the host.ingress.pending node gauge:
+// it tracks the buffer depth through submits, gated pooling, and the
+// drain, so an operator can see the backpressure reservoir fill when
+// the commit window closes under open-loop load.
+func TestIngressPendingGauge(t *testing.T) {
+	net, env := newEnv(t)
+	gauge := func() float64 {
+		return net.Metrics().Gauge("host.ingress.pending", metrics.L{Key: "node", Value: env.ID().String()})
+	}
+	open := false
+	in := host.NewIngress(env, host.IngressOptions{BatchSize: 2, MaxLatency: time.Second},
+		func([]*wire.Request, wire.TraceContext) {})
+	in.SetGate(func() bool { return open })
+
+	// Gate closed: submissions pool past BatchSize and the gauge climbs.
+	for i := 1; i <= 5; i++ {
+		in.Submit(mkReq(uint64(i)))
+	}
+	if g := gauge(); g != 5 {
+		t.Fatalf("gated gauge = %v, want 5 (pending=%d)", g, in.Pending())
+	}
+	// Gate opens: Flush drains everything and the gauge returns to zero.
+	open = true
+	in.Flush()
+	if in.Pending() != 0 {
+		t.Fatalf("flush left %d pending", in.Pending())
+	}
+	if g := gauge(); g != 0 {
+		t.Fatalf("drained gauge = %v, want 0", g)
+	}
+	// Stop drops a refilled buffer and zeroes the gauge with it.
+	open = false
+	in.Submit(mkReq(6))
+	if g := gauge(); g != 1 {
+		t.Fatalf("refilled gauge = %v, want 1", g)
+	}
+	in.Stop()
+	if g := gauge(); g != 0 {
+		t.Fatalf("post-stop gauge = %v, want 0", g)
 	}
 }

@@ -1,0 +1,238 @@
+// Package load is the open-loop workload subsystem: arrival processes
+// (Poisson, bursty, ramp), key-skew generators (Zipf, uniform), a
+// tail-accurate latency recorder, and two generator engines — a
+// wall-clock one driving real targets (TCP clusters, HTTP frontends)
+// and a virtual-time one driving the deterministic simulator.
+//
+// Open loop means the request schedule is fixed in advance by the
+// arrival process, independent of how fast the system answers: a slow
+// system does not slow the clients down, it builds queueing delay —
+// which is exactly the failure mode closed-loop drivers (submit, wait,
+// repeat) structurally cannot observe. Latency is always measured from
+// a request's *intended* send time, so a generator stalled by its
+// in-flight bound still charges the wait to the system (no coordinated
+// omission).
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Arrivals is an open-loop arrival process: a deterministic (per rng
+// stream) sequence of inter-arrival gaps. Implementations carry their
+// own phase state, so one value describes one run; use Parse again (or
+// Clone semantics at the caller) for a fresh run.
+type Arrivals interface {
+	// Next returns the gap between the previous arrival and the next
+	// one, advancing the process's internal clock.
+	Next(rng *rand.Rand) time.Duration
+	// Rate returns the nominal offered rate in req/s (the mean over a
+	// long run), for reporting.
+	Rate() float64
+	// String returns the canonical spec the process was parsed from.
+	String() string
+}
+
+// expGap draws an exponential inter-arrival gap at the given rate.
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	g := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	if g < 0 { // ExpFloat64 can return huge values; Duration overflow guard
+		g = math.MaxInt64
+	}
+	return g
+}
+
+// Poisson is a memoryless arrival process at a constant rate — the
+// standard open-loop client population model.
+type Poisson struct{ R float64 }
+
+func (p *Poisson) Next(rng *rand.Rand) time.Duration { return expGap(rng, p.R) }
+func (p *Poisson) Rate() float64                     { return p.R }
+func (p *Poisson) String() string                    { return fmt.Sprintf("poisson:rate=%g", p.R) }
+
+// Steady is a deterministic constant-gap process (no variance): useful
+// for pinning capacity thresholds without Poisson burst noise.
+type Steady struct{ R float64 }
+
+func (s *Steady) Next(*rand.Rand) time.Duration {
+	return time.Duration(float64(time.Second) / s.R)
+}
+func (s *Steady) Rate() float64  { return s.R }
+func (s *Steady) String() string { return fmt.Sprintf("steady:rate=%g", s.R) }
+
+// Bursty alternates Poisson arrivals between a base rate and a burst
+// rate: every Period, the first BurstLen runs at Burst req/s and the
+// remainder at Base req/s. It models flash-crowd traffic whose tail
+// the mean rate hides.
+type Bursty struct {
+	Base, Burst      float64
+	Period, BurstLen time.Duration
+
+	t time.Duration // process-local clock
+}
+
+func (b *Bursty) Next(rng *rand.Rand) time.Duration {
+	rate := b.Base
+	if b.t%b.Period < b.BurstLen {
+		rate = b.Burst
+	}
+	g := expGap(rng, rate)
+	b.t += g
+	return g
+}
+
+func (b *Bursty) Rate() float64 {
+	frac := float64(b.BurstLen) / float64(b.Period)
+	return b.Burst*frac + b.Base*(1-frac)
+}
+
+func (b *Bursty) String() string {
+	return fmt.Sprintf("burst:base=%g,burst=%g,period=%s,len=%s", b.Base, b.Burst, b.Period, b.BurstLen)
+}
+
+// Ramp sweeps the Poisson rate linearly from From to To over Over,
+// then holds at To — the offered-load sweep that exposes where the
+// latency curve turns the corner within a single run.
+type Ramp struct {
+	From, To float64
+	Over     time.Duration
+
+	t time.Duration
+}
+
+func (r *Ramp) rateAt(t time.Duration) float64 {
+	if t >= r.Over {
+		return r.To
+	}
+	return r.From + (r.To-r.From)*float64(t)/float64(r.Over)
+}
+
+func (r *Ramp) Next(rng *rand.Rand) time.Duration {
+	g := expGap(rng, r.rateAt(r.t))
+	r.t += g
+	return g
+}
+
+func (r *Ramp) Rate() float64 { return (r.From + r.To) / 2 }
+func (r *Ramp) String() string {
+	return fmt.Sprintf("ramp:from=%g,to=%g,over=%s", r.From, r.To, r.Over)
+}
+
+// ParseArrivals parses an arrival-process spec:
+//
+//	poisson:rate=50000
+//	steady:rate=1000
+//	burst:base=1000,burst=20000,period=5s,len=500ms
+//	ramp:from=100,to=50000,over=30s
+func ParseArrivals(spec string) (Arrivals, error) {
+	kind, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "poisson", "steady":
+		rate, err := needFloat(params, "rate")
+		if err != nil {
+			return nil, fmt.Errorf("arrivals %q: %w", spec, err)
+		}
+		if kind == "poisson" {
+			return &Poisson{R: rate}, nil
+		}
+		return &Steady{R: rate}, nil
+	case "burst":
+		base, err1 := needFloat(params, "base")
+		burst, err2 := needFloat(params, "burst")
+		period, err3 := needDuration(params, "period")
+		length, err4 := needDuration(params, "len")
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("arrivals %q: %w", spec, err)
+		}
+		if length > period {
+			return nil, fmt.Errorf("arrivals %q: len exceeds period", spec)
+		}
+		return &Bursty{Base: base, Burst: burst, Period: period, BurstLen: length}, nil
+	case "ramp":
+		from, err1 := needFloat(params, "from")
+		to, err2 := needFloat(params, "to")
+		over, err3 := needDuration(params, "over")
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, fmt.Errorf("arrivals %q: %w", spec, err)
+		}
+		return &Ramp{From: from, To: to, Over: over}, nil
+	default:
+		return nil, fmt.Errorf("arrivals %q: unknown process %q (want poisson, steady, burst, ramp)", spec, kind)
+	}
+}
+
+// splitSpec parses "kind:k=v,k=v" into the kind and its parameter map.
+func splitSpec(spec string) (string, map[string]string, error) {
+	kind, rest, ok := strings.Cut(strings.TrimSpace(spec), ":")
+	if !ok || kind == "" {
+		return "", nil, fmt.Errorf("spec %q: want 'kind:k=v,...'", spec)
+	}
+	params := make(map[string]string)
+	for _, kv := range strings.Split(rest, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("spec %q: bad parameter %q", spec, kv)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, fmt.Errorf("spec %q: duplicate parameter %q", spec, k)
+		}
+		params[k] = v
+	}
+	return kind, params, nil
+}
+
+func needFloat(params map[string]string, key string) (float64, error) {
+	s, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("bad %s=%q (want a positive number)", key, s)
+	}
+	return v, nil
+}
+
+func needInt(params map[string]string, key string) (int, error) {
+	s, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a positive integer)", key, s)
+	}
+	return v, nil
+}
+
+func needDuration(params map[string]string, key string) (time.Duration, error) {
+	s, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a positive duration)", key, s)
+	}
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// meanGap draws n gaps and returns the empirical mean.
+func meanGap(a Arrivals, n int, seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += a.Next(rng)
+	}
+	return total / time.Duration(n)
+}
+
+// TestArrivalRates: each process's empirical mean gap matches its
+// nominal rate within sampling noise.
+func TestArrivalRates(t *testing.T) {
+	cases := []struct {
+		spec string
+		rate float64
+	}{
+		{"poisson:rate=1000", 1000},
+		{"steady:rate=250", 250},
+		{"burst:base=100,burst=1000,period=1s,len=500ms", 550},
+	}
+	for _, c := range cases {
+		a, err := ParseArrivals(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if a.Rate() != c.rate {
+			t.Errorf("%s: Rate() = %g, want %g", c.spec, a.Rate(), c.rate)
+		}
+		if a.String() != c.spec {
+			t.Errorf("round-trip: %q -> %q", c.spec, a.String())
+		}
+		// Sample enough that Poisson noise is < 10%; ramp/burst means
+		// only hold over their full cycle, so sample generously.
+		got := meanGap(a, 50000, 9)
+		want := time.Duration(float64(time.Second) / c.rate)
+		lo, hi := want*85/100, want*115/100
+		if got < lo || got > hi {
+			t.Errorf("%s: mean gap %s outside [%s, %s]", c.spec, got, lo, hi)
+		}
+	}
+}
+
+// TestSteadyIsDeterministic: the steady process ignores the rng.
+func TestSteadyIsDeterministic(t *testing.T) {
+	s := &Steady{R: 100}
+	if g := s.Next(nil); g != 10*time.Millisecond {
+		t.Fatalf("gap %s", g)
+	}
+}
+
+// TestBurstyPhases: inside the burst window the gaps are much tighter
+// than in the base window.
+func TestBurstyPhases(t *testing.T) {
+	b := &Bursty{Base: 10, Burst: 10000, Period: time.Second, BurstLen: 500 * time.Millisecond}
+	rng := rand.New(rand.NewSource(4))
+	var burstGaps, baseGaps []time.Duration
+	clock := time.Duration(0)
+	for i := 0; i < 20000 && len(baseGaps) < 50; i++ {
+		inBurst := clock%b.Period < b.BurstLen
+		g := b.Next(rng)
+		if inBurst {
+			burstGaps = append(burstGaps, g)
+		} else {
+			baseGaps = append(baseGaps, g)
+		}
+		clock += g
+	}
+	if len(burstGaps) == 0 || len(baseGaps) == 0 {
+		t.Fatalf("phases not both sampled: %d burst, %d base", len(burstGaps), len(baseGaps))
+	}
+	var burstMean, baseMean time.Duration
+	for _, g := range burstGaps {
+		burstMean += g
+	}
+	burstMean /= time.Duration(len(burstGaps))
+	for _, g := range baseGaps {
+		baseMean += g
+	}
+	baseMean /= time.Duration(len(baseGaps))
+	if baseMean < 50*burstMean {
+		t.Errorf("burst mean %s vs base mean %s: phases not distinct", burstMean, baseMean)
+	}
+}
+
+// TestRampLabels pins the ramp's nominal rate and spec round-trip;
+// the sweep itself is covered by TestRampSweeps (the long-run mean is
+// dominated by the held To rate, so a bulk mean-gap check would not
+// measure the ramp).
+func TestRampLabels(t *testing.T) {
+	a, err := ParseArrivals("ramp:from=100,to=300,over=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rate() != 200 {
+		t.Errorf("Rate() = %g, want the 200 mid-ramp rate", a.Rate())
+	}
+	if a.String() != "ramp:from=100,to=300,over=10s" {
+		t.Errorf("round-trip: %q", a.String())
+	}
+}
+
+// TestRampSweeps: early gaps are longer than late gaps.
+func TestRampSweeps(t *testing.T) {
+	r := &Ramp{From: 10, To: 1000, Over: 10 * time.Second}
+	rng := rand.New(rand.NewSource(5))
+	early := meanOf(r, rng, 20)
+	for r.t < r.Over { // fast-forward to the held phase
+		r.Next(rng)
+	}
+	late := meanOf(r, rng, 200)
+	if early < 10*late {
+		t.Errorf("ramp not sweeping: early mean %s, late mean %s", early, late)
+	}
+}
+
+func meanOf(a Arrivals, rng *rand.Rand, n int) time.Duration {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += a.Next(rng)
+	}
+	return total / time.Duration(n)
+}
+
+// TestZipfSkew: the hottest key dominates a high-s draw, and the key
+// space round-trips through the parser.
+func TestZipfSkew(t *testing.T) {
+	k, err := ParseKeys("zipf:n=1000,s=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[k.Next(rng)]++
+	}
+	if counts["key-0"] < 20000/4 {
+		t.Errorf("zipf s=1.5: hottest key only %d/20000 draws", counts["key-0"])
+	}
+	u, err := ParseKeys("uniform:n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		uc[u.Next(rng)]++
+	}
+	for key, n := range uc {
+		if n < 1500 || n > 2500 {
+			t.Errorf("uniform n=10: %s drawn %d/20000", key, n)
+		}
+	}
+}
+
+// TestParseErrors pins the spec grammar's rejections.
+func TestParseErrors(t *testing.T) {
+	badArrivals := []string{
+		"",
+		"poisson",                               // no colon
+		"warp:rate=1",                           // unknown kind
+		"poisson:rate=0",                        // non-positive
+		"poisson:rate=-5",                       //
+		"poisson:rate=x",                        //
+		"poisson:",                              // missing rate
+		"poisson:rate=1,rate=2",                 // duplicate key
+		"burst:base=1,burst=2",                  // missing period/len
+		"burst:base=1,burst=2,period=1s,len=2s", // len > period
+		"ramp:from=1,to=2",                      // missing over
+	}
+	for _, spec := range badArrivals {
+		if _, err := ParseArrivals(spec); err == nil {
+			t.Errorf("ParseArrivals accepted %q", spec)
+		}
+	}
+	badKeys := []string{
+		"zipf:n=1000,s=1", // s must exceed 1
+		"zipf:n=1,s=2",    // n must be >= 2
+		"uniform:n=0",
+		"fixed:",
+		"nope:n=1",
+	}
+	for _, spec := range badKeys {
+		if _, err := ParseKeys(spec); err == nil {
+			t.Errorf("ParseKeys accepted %q", spec)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"quorumselect/internal/sim"
+)
+
+// loadTopo loads a shipped topology spec, bound to n processes. The
+// benchmarks deliberately go through the example files so the shipped
+// grammar stays load-bearing.
+func loadTopo(tb testing.TB, name string, n int) *sim.BoundTopology {
+	tb.Helper()
+	topo, err := sim.LoadTopology("../../examples/topologies/" + name + ".topo")
+	if err != nil {
+		tb.Fatalf("load topology %s: %v", name, err)
+	}
+	b, err := topo.Bind(n)
+	if err != nil {
+		tb.Fatalf("bind %s to %d: %v", name, n, err)
+	}
+	return b
+}
+
+// reportSummary emits the summary's headline numbers as custom bench
+// metrics; cmd/benchjson lifts them into loadgen.openloop.* derived
+// entries.
+func reportSummary(b *testing.B, s *Summary) {
+	b.ReportMetric(s.LatencyMs.P50, "p50_ms")
+	b.ReportMetric(s.LatencyMs.P99, "p99_ms")
+	b.ReportMetric(s.LatencyMs.P999, "p999_ms")
+	b.ReportMetric(s.GoodputRatio, "goodput")
+	b.ReportMetric(s.GoodputRPS, "goodput_rps")
+}
+
+// BenchmarkOpenLoopSim sweeps offered load across WAN topologies: the
+// p99-vs-offered-load surface at two rates per topology. lan runs the
+// simulator's default latency band; geo3/geo5 run the shipped WAN
+// specs (geo5 with one process per region).
+func BenchmarkOpenLoopSim(b *testing.B) {
+	cases := []struct {
+		topo string // "" = default LAN model
+		n    int
+		rate float64
+	}{
+		{"lan", 4, 300},
+		{"lan", 4, 1200},
+		{"geo3", 4, 100},
+		{"geo3", 4, 400},
+		{"geo5", 5, 100},
+		{"geo5", 5, 400},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("topo=%s/rate=%d", c.topo, int(c.rate)), func(b *testing.B) {
+			var s *Summary
+			for i := 0; i < b.N; i++ {
+				var err error
+				s, err = RunSim(SimOptions{
+					N:           c.n,
+					Arrivals:    &Poisson{R: c.rate},
+					Keys:        &ZipfKeys{N: 10000, S: 1.1},
+					Seed:        11,
+					Duration:    3 * time.Second,
+					Drain:       15 * time.Second,
+					MaxInFlight: 1024,
+					Topology:    loadTopo(b, c.topo, c.n),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSummary(b, s)
+		})
+	}
+}
+
+// BenchmarkOpenLoopRecovery measures the latency cost of a hard
+// leader crash with restart under sustained open-loop load: the spike
+// p99 and the measured recovery-to-baseline time come out as bench
+// metrics.
+func BenchmarkOpenLoopRecovery(b *testing.B) {
+	faultAt := 4 * time.Second
+	var s *Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = RunSim(SimOptions{
+			Arrivals:  &Poisson{R: 300},
+			Keys:      &UniformKeys{N: 1000},
+			Seed:      13,
+			Duration:  12 * time.Second,
+			Crashes:   []Crash{{Proc: 1, At: faultAt, RestartAt: faultAt + 3*time.Second, Hard: true}},
+			FaultDesc: "hard crash-restart p1",
+			FaultAt:   faultAt,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSummary(b, s)
+	if s.Fault != nil {
+		b.ReportMetric(s.Fault.SpikeP99Ms, "spike_p99_ms")
+		b.ReportMetric(s.Fault.RecoveryMs, "recovery_ms")
+		b.ReportMetric(s.Fault.BaselineP99Ms, "baseline_p99_ms")
+	}
+}
+
+// BenchmarkOpenLoopGen measures the wall-clock generator engine itself
+// against an instant target: how many requests per second the
+// scheduler and worker pool can push while keeping full accounting.
+func BenchmarkOpenLoopGen(b *testing.B) {
+	instant := TargetFunc(func(context.Context, string, []byte) error { return nil })
+	var s *Summary
+	for i := 0; i < b.N; i++ {
+		g, err := NewGenerator(Options{
+			Arrivals:    &Poisson{R: 100000},
+			Keys:        &ZipfKeys{N: 10000, S: 1.1},
+			Seed:        17,
+			Duration:    300 * time.Millisecond,
+			MaxInFlight: 512,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, err = g.Run(context.Background(), instant); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.GoodputRPS, "goodput_rps")
+	b.ReportMetric(s.GoodputRatio, "goodput")
+	b.ReportMetric(float64(s.LateSends)/float64(s.Sent+1), "late_ratio")
+}

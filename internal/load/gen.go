@@ -1,0 +1,232 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Target is anything the wall-clock generator can drive: the TCP
+// cluster's HTTP frontend, an in-process host, a mock. Do must not
+// return until the operation is durably executed (or has failed).
+type Target interface {
+	Do(ctx context.Context, key string, op []byte) error
+}
+
+// TargetFunc adapts a function to Target.
+type TargetFunc func(ctx context.Context, key string, op []byte) error
+
+// Do implements Target.
+func (f TargetFunc) Do(ctx context.Context, key string, op []byte) error { return f(ctx, key, op) }
+
+// Options configures a wall-clock Generator.
+type Options struct {
+	// Arrivals is the open-loop arrival process (required).
+	Arrivals Arrivals
+	// Keys is the key-skew generator (required).
+	Keys Keys
+	// Seed seeds the arrival and key streams.
+	Seed int64
+	// Duration is the arrival window (required > 0). In-flight requests
+	// get Drain extra time to finish after the last arrival.
+	Duration time.Duration
+	// Drain bounds how long to wait for stragglers after the arrival
+	// window closes (default 5s).
+	Drain time.Duration
+	// MaxInFlight bounds concurrently outstanding requests (default
+	// 256). Arrivals beyond the bound queue — charged to latency via
+	// their intended send time — up to Backlog, then shed.
+	MaxInFlight int
+	// Backlog bounds the queued-but-unsent requests (default
+	// 64×MaxInFlight).
+	Backlog int
+	// Timeout bounds one request (default 10s).
+	Timeout time.Duration
+	// BucketWidth sets the timeline resolution (default 500ms).
+	BucketWidth time.Duration
+	// Fault, when non-nil, is copied into the summary and triggers the
+	// recovery analysis. The generator does not inject the fault — the
+	// caller does (chaos schedule, kill -9, …) — it only measures it.
+	Fault *FaultReport
+	// OnPhase, when set, observes generator lifecycle phases
+	// ("arrivals", "drain", "done") as they begin.
+	OnPhase func(phase string, at time.Duration)
+}
+
+func (o *Options) defaults() error {
+	if o.Arrivals == nil || o.Keys == nil {
+		return errors.New("load: Arrivals and Keys are required")
+	}
+	if o.Duration <= 0 {
+		return errors.New("load: Duration must be positive")
+	}
+	if o.Drain <= 0 {
+		o.Drain = 5 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.Backlog <= 0 {
+		o.Backlog = 64 * o.MaxInFlight
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return nil
+}
+
+// Generator is the wall-clock open-loop engine: one scheduler
+// goroutine emits arrivals on the process's schedule, MaxInFlight
+// workers issue them against the Target. A Generator runs once.
+type Generator struct {
+	opts Options
+	rec  *Recorder
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	ranMu sync.Mutex
+	ran   bool
+}
+
+// NewGenerator validates opts and returns an unstarted generator.
+func NewGenerator(opts Options) (*Generator, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		opts:   opts,
+		rec:    NewRecorder(opts.BucketWidth),
+		stopCh: make(chan struct{}),
+	}, nil
+}
+
+// Stop aborts an in-progress Run: the arrival schedule halts and Run
+// returns after in-flight requests drain. Safe to call from signal
+// handlers, concurrently, and more than once.
+func (g *Generator) Stop() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+}
+
+// job is one scheduled request. intended is the offset from run start
+// the arrival process scheduled it for — the latency origin.
+type job struct {
+	intended time.Duration
+	key      string
+	op       []byte
+}
+
+// Run drives target with the configured workload and returns the
+// summary. It blocks until the arrival window closes (or Stop/ctx
+// cancel) and in-flight requests drain. All spawned goroutines have
+// exited by the time it returns.
+func (g *Generator) Run(ctx context.Context, target Target) (*Summary, error) {
+	g.ranMu.Lock()
+	if g.ran {
+		g.ranMu.Unlock()
+		return nil, errors.New("load: Generator is single-use; Run called twice")
+	}
+	g.ran = true
+	g.ranMu.Unlock()
+
+	jobs := make(chan job, g.opts.Backlog)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g.opts.MaxInFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				g.rec.Sent(j.intended, time.Since(start))
+				opCtx, opCancel := context.WithTimeout(runCtx, g.opts.Timeout)
+				err := target.Do(opCtx, j.key, j.op)
+				opCancel()
+				latency := time.Since(start) - j.intended
+				if err != nil {
+					g.rec.Fail(j.intended)
+				} else {
+					g.rec.Complete(j.intended, latency)
+				}
+			}
+		}()
+	}
+
+	if g.opts.OnPhase != nil {
+		g.opts.OnPhase("arrivals", 0)
+	}
+	rng := rand.New(rand.NewSource(g.opts.Seed))
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var seq uint64
+	next := time.Duration(0)
+	stopped := false
+schedule:
+	for {
+		next += g.opts.Arrivals.Next(rng)
+		if next >= g.opts.Duration {
+			break
+		}
+		// Sleep until the intended instant; if the scheduler itself is
+		// behind, send immediately (Sent records the lag).
+		if wait := next - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-g.stopCh:
+				stopped = true
+				break schedule
+			case <-runCtx.Done():
+				stopped = true
+				break schedule
+			}
+		}
+		g.rec.Offered()
+		seq++
+		key := g.opts.Keys.Next(rng)
+		op := []byte(fmt.Sprintf("set %s v%d", key, seq))
+		select {
+		case jobs <- job{intended: next, key: key, op: op}:
+		default:
+			g.rec.Shed()
+		}
+	}
+	close(jobs)
+	elapsed := time.Since(start)
+	if elapsed > g.opts.Duration && !stopped {
+		elapsed = g.opts.Duration
+	}
+
+	if g.opts.OnPhase != nil {
+		g.opts.OnPhase("drain", time.Since(start))
+	}
+	// Bound the drain: workers blocked in Do are released by runCtx.
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(g.opts.Drain):
+		cancel()
+		<-drained
+	case <-g.stopCh:
+		cancel()
+		<-drained
+	}
+
+	if g.opts.OnPhase != nil {
+		g.opts.OnPhase("done", time.Since(start))
+	}
+	s := g.rec.Summarize(elapsed, g.opts.Fault)
+	s.Mode = "wallclock"
+	s.Arrivals = g.opts.Arrivals.String()
+	s.Keys = g.opts.Keys.String()
+	s.Seed = g.opts.Seed
+	return s, nil
+}

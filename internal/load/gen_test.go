@@ -1,0 +1,189 @@
+package load
+
+import (
+	"context"
+	"errors"
+	gort "runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func sleepTarget(d time.Duration) Target {
+	return TargetFunc(func(ctx context.Context, key string, op []byte) error {
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+}
+
+// TestGeneratorRun: a wall-clock run against a fast mock target
+// completes what it offers and measures plausible latency.
+func TestGeneratorRun(t *testing.T) {
+	g, err := NewGenerator(Options{
+		Arrivals: &Poisson{R: 2000},
+		Keys:     &UniformKeys{N: 50},
+		Seed:     1,
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Run(context.Background(), sleepTarget(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offered < 500 {
+		t.Fatalf("offered %d at 2000/s over 500ms", s.Offered)
+	}
+	if s.GoodputRatio < 0.99 {
+		t.Fatalf("goodput %.3f (completed %d, failed %d, unfinished %d)",
+			s.GoodputRatio, s.Completed, s.Failed, s.Unfinished)
+	}
+	if s.LatencyMs.P50 < 0.5 || s.LatencyMs.P50 > 50 {
+		t.Fatalf("p50 %.2fms against a 1ms target", s.LatencyMs.P50)
+	}
+	if s.Mode != "wallclock" {
+		t.Fatalf("mode %q", s.Mode)
+	}
+}
+
+// TestGeneratorChargesQueueing: with one worker and a slow target, the
+// open-loop schedule keeps arriving and latency (from intended send
+// time) must reflect the queue wait — the coordinated-omission check.
+func TestGeneratorChargesQueueing(t *testing.T) {
+	g, err := NewGenerator(Options{
+		Arrivals:    &Steady{R: 100}, // 10ms spacing
+		Keys:        &FixedKey{Key: "k"},
+		Seed:        1,
+		Duration:    300 * time.Millisecond,
+		MaxInFlight: 1,
+		Drain:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Run(context.Background(), sleepTarget(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service takes 3× the arrival spacing, so by the last arrivals the
+	// queue is ~20 deep: max latency must be far above the 30ms service
+	// time. A closed-loop (coordinated-omission) measurement would
+	// report ~30ms flat.
+	if s.LatencyMs.Max < 200 {
+		t.Fatalf("max latency %.1fms does not reflect queueing", s.LatencyMs.Max)
+	}
+	if s.LatencyMs.P50 <= 30 {
+		t.Fatalf("median %.1fms should exceed the 30ms service time under overload", s.LatencyMs.P50)
+	}
+}
+
+// TestGeneratorFailures: target errors are counted, not dropped.
+func TestGeneratorFailures(t *testing.T) {
+	var n int64
+	flaky := TargetFunc(func(ctx context.Context, key string, op []byte) error {
+		if atomic.AddInt64(&n, 1)%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	g, err := NewGenerator(Options{
+		Arrivals: &Steady{R: 500},
+		Keys:     &FixedKey{Key: "k"},
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Run(context.Background(), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed == 0 || s.Completed == 0 {
+		t.Fatalf("failed %d completed %d", s.Failed, s.Completed)
+	}
+	if s.Completed+s.Failed != s.Sent {
+		t.Fatalf("accounting leak: %d + %d != %d", s.Completed, s.Failed, s.Sent)
+	}
+}
+
+// TestGeneratorNoLeakAndDoubleStop mirrors the transport lifecycle
+// tests: every goroutine the generator spawns exits by the time Run
+// returns, Stop is idempotent (and callable concurrently, and after
+// Run finished), and a second Run refuses.
+func TestGeneratorNoLeakAndDoubleStop(t *testing.T) {
+	baseline := gort.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		g, err := NewGenerator(Options{
+			Arrivals:    &Poisson{R: 1000},
+			Keys:        &UniformKeys{N: 10},
+			Seed:        int64(i),
+			Duration:    10 * time.Second, // Stop cuts it short
+			MaxInFlight: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			g.Stop()
+			g.Stop() // double-Stop must not panic
+		}()
+		if _, err := g.Run(context.Background(), sleepTarget(time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		g.Stop() // Stop after Run returned must not panic
+		if _, err := g.Run(context.Background(), sleepTarget(time.Millisecond)); err == nil {
+			t.Fatal("second Run accepted")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if gort.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, gort.NumGoroutine())
+}
+
+// TestGeneratorContextCancel: canceling the run context aborts the
+// schedule without deadlocking the drain.
+func TestGeneratorContextCancel(t *testing.T) {
+	g, err := NewGenerator(Options{
+		Arrivals: &Poisson{R: 500},
+		Keys:     &FixedKey{Key: "k"},
+		Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := g.Run(ctx, sleepTarget(time.Millisecond)); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancel")
+	}
+}
+
+// TestGeneratorOptionValidation pins the constructor's rejections.
+func TestGeneratorOptionValidation(t *testing.T) {
+	if _, err := NewGenerator(Options{Keys: &FixedKey{Key: "k"}, Duration: time.Second}); err == nil {
+		t.Error("accepted nil Arrivals")
+	}
+	if _, err := NewGenerator(Options{Arrivals: &Poisson{R: 1}, Keys: &FixedKey{Key: "k"}}); err == nil {
+		t.Error("accepted zero Duration")
+	}
+}

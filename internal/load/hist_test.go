@@ -1,0 +1,123 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistAccuracy: percentiles land within the 1/2^subBits relative
+// bucket error of the exact nearest-rank answer, across magnitudes.
+func TestHistAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHist()
+	samples := make([]time.Duration, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		// Log-uniform over 1µs..10s: exercises many octaves.
+		exp := rng.Float64()*7 + 3 // 10^3 .. 10^10 ns
+		v := time.Duration(pow10(exp))
+		h.Add(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9, 99.99} {
+		rank := int(float64(len(samples))*p/100+0.9999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		got := h.Percentile(p)
+		rel := float64(got-exact) / float64(exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.02 {
+			t.Errorf("p%g = %s, exact %s (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+	if h.Max() != samples[len(samples)-1] || h.Min() != samples[0] {
+		t.Errorf("min/max not exact: %s/%s vs %s/%s", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+	}
+	if h.Count() != 200000 {
+		t.Errorf("count %d", h.Count())
+	}
+}
+
+func pow10(e float64) float64 {
+	v := 1.0
+	for e >= 1 {
+		v *= 10
+		e--
+	}
+	if e > 0 {
+		// linear interpolation is fine for test data generation
+		v *= 1 + 9*e
+	}
+	return v
+}
+
+// TestHistBucketRoundTrip: every bucket index maps back into a value
+// that maps to the same bucket (the midpoint really is inside).
+func TestHistBucketRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 129, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketOf(v)
+		mid := bucketValue(i)
+		if bucketOf(mid) != i {
+			t.Errorf("value %d: bucket %d midpoint %d maps to bucket %d", v, i, mid, bucketOf(mid))
+		}
+	}
+	// Bucket indexes are monotone in the value.
+	prev := -1
+	for v := uint64(0); v < 1<<20; v += 97 {
+		i := bucketOf(v)
+		if i < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = i
+	}
+}
+
+// TestHistEdges pins the empty/singleton/extreme-p behavior.
+func TestHistEdges(t *testing.T) {
+	h := NewHist()
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	h.Add(5 * time.Millisecond)
+	for _, p := range []float64{0, 50, 99.99, 100} {
+		if got := h.Percentile(p); got != 5*time.Millisecond {
+			t.Errorf("single sample p%g = %s", p, got)
+		}
+	}
+	h.Add(-time.Second) // clamps to 0
+	if h.Min() != 0 {
+		t.Errorf("negative sample min %s", h.Min())
+	}
+}
+
+// TestHistMerge: merging equals recording everything in one histogram.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b, all := NewHist(), NewHist(), NewHist()
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Second)))
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHist())
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatal("merge lost samples or extremes")
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Errorf("p%g: merged %s vs direct %s", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Keys generates the client keyspace skew: which key each request
+// touches, and therefore (through the fleet's consistent-hash router)
+// which shard absorbs it.
+type Keys interface {
+	// Next draws the next request's key.
+	Next(rng *rand.Rand) string
+	// Cardinality returns the keyspace size (0 = unbounded/fixed).
+	Cardinality() int
+	// String returns the canonical spec.
+	String() string
+}
+
+// UniformKeys draws uniformly from "key-0" .. "key-(N-1)".
+type UniformKeys struct{ N int }
+
+func (u *UniformKeys) Next(rng *rand.Rand) string { return keyName(rng.Intn(u.N)) }
+func (u *UniformKeys) Cardinality() int           { return u.N }
+func (u *UniformKeys) String() string             { return fmt.Sprintf("uniform:n=%d", u.N) }
+
+// ZipfKeys draws from a Zipf(s, v=1) distribution over N keys: key-0
+// is the hottest, with the classic heavy-head/long-tail shape real
+// caches and social workloads show. s must be > 1 (the math/rand
+// generator's domain); larger s is more skewed.
+type ZipfKeys struct {
+	N int
+	S float64
+
+	zipf *rand.Zipf // lazily bound to the first rng seen
+}
+
+func (z *ZipfKeys) Next(rng *rand.Rand) string {
+	if z.zipf == nil {
+		z.zipf = rand.NewZipf(rng, z.S, 1, uint64(z.N-1))
+	}
+	return keyName(int(z.zipf.Uint64()))
+}
+
+func (z *ZipfKeys) Cardinality() int { return z.N }
+func (z *ZipfKeys) String() string   { return fmt.Sprintf("zipf:n=%d,s=%g", z.N, z.S) }
+
+// FixedKey always returns the same key — the worst case for a sharded
+// fleet (all load on one group) and the best case for batching.
+type FixedKey struct{ Key string }
+
+func (f *FixedKey) Next(*rand.Rand) string { return f.Key }
+func (f *FixedKey) Cardinality() int       { return 1 }
+func (f *FixedKey) String() string         { return "fixed:key=" + f.Key }
+
+func keyName(i int) string { return "key-" + strconv.Itoa(i) }
+
+// ParseKeys parses a key-skew spec:
+//
+//	uniform:n=10000
+//	zipf:n=10000,s=1.1
+//	fixed:key=hot
+func ParseKeys(spec string) (Keys, error) {
+	kind, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "uniform":
+		n, err := needInt(params, "n")
+		if err != nil {
+			return nil, fmt.Errorf("keys %q: %w", spec, err)
+		}
+		return &UniformKeys{N: n}, nil
+	case "zipf":
+		n, err1 := needInt(params, "n")
+		s, err2 := needFloat(params, "s")
+		if err := firstErr(err1, err2); err != nil {
+			return nil, fmt.Errorf("keys %q: %w", spec, err)
+		}
+		if s <= 1 {
+			return nil, fmt.Errorf("keys %q: zipf needs s > 1", spec)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("keys %q: zipf needs n >= 2", spec)
+		}
+		return &ZipfKeys{N: n, S: s}, nil
+	case "fixed":
+		key, ok := params["key"]
+		if !ok || key == "" {
+			return nil, fmt.Errorf("keys %q: missing key=", spec)
+		}
+		return &FixedKey{Key: key}, nil
+	default:
+		return nil, fmt.Errorf("keys %q: unknown skew %q (want uniform, zipf, fixed)", spec, kind)
+	}
+}

@@ -1,0 +1,398 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"quorumselect/internal/core"
+	"quorumselect/internal/fd"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/metrics"
+	"quorumselect/internal/obs"
+	"quorumselect/internal/runtime"
+	"quorumselect/internal/sim"
+	"quorumselect/internal/storage"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// Crash is one scheduled crash (and optional restart) in a sim-mode
+// load run. It mirrors chaos.CrashPlan but lives here so the load
+// package stays import-light: cmd/loadgen converts generated chaos
+// schedules into this shape.
+type Crash struct {
+	Proc ids.ProcessID
+	// At is when the process goes down; RestartAt (0 = never) is when
+	// it comes back, recovering from its durable storage.
+	At, RestartAt time.Duration
+	// Hard models power loss: unsynced writes are lost.
+	Hard bool
+}
+
+// SimOptions configures a virtual-time open-loop run against a
+// simulated XPaxos cluster.
+type SimOptions struct {
+	// N is the cluster size (default 4).
+	N int
+	// BatchSize and Window tune the commit path (defaults 8, 16).
+	BatchSize int
+	Window    int
+	// Arrivals and Keys define the workload (required).
+	Arrivals Arrivals
+	Keys     Keys
+	// Seed drives the network, arrival, and key streams.
+	Seed int64
+	// Duration is the virtual-time arrival window (required > 0);
+	// Drain bounds how much longer the run waits for stragglers
+	// (default 10s).
+	Duration time.Duration
+	Drain    time.Duration
+	// MaxInFlight bounds outstanding requests (default 256); arrivals
+	// beyond it queue up to Backlog (default 64×MaxInFlight), then
+	// shed.
+	MaxInFlight int
+	Backlog     int
+	// RetryEvery re-submits an uncompleted request on this period
+	// (default 1s): across a leader crash, the retry is what carries a
+	// request into the new view — its full wait still counts, measured
+	// from the intended send time.
+	RetryEvery time.Duration
+	// Topology, when set, supplies the latency model and any partition
+	// windows. FD timeouts are scaled to its worst one-way delay.
+	Topology *sim.BoundTopology
+	// Filter is an extra fault filter (e.g. a chaos schedule), applied
+	// after the topology's partition filter.
+	Filter sim.Filter
+	// Crashes are scheduled process crashes/restarts.
+	Crashes []Crash
+	// FaultDesc/FaultAt, when FaultDesc is non-empty, attach a
+	// FaultReport with recovery analysis to the summary.
+	FaultDesc string
+	FaultAt   time.Duration
+	// BucketWidth sets the timeline resolution (default 500ms).
+	BucketWidth time.Duration
+	// Metrics, when set, also collects the cluster's own registry.
+	Metrics *metrics.Registry
+	// Stop, when non-nil, aborts the run early once closed (checked
+	// between simulator steps): the summary then covers the virtual
+	// time actually simulated. cmd/loadgen wires SIGINT/SIGTERM here.
+	Stop <-chan struct{}
+}
+
+func (o *SimOptions) defaults() error {
+	if o.Arrivals == nil || o.Keys == nil {
+		return errors.New("load: Arrivals and Keys are required")
+	}
+	if o.Duration <= 0 {
+		return errors.New("load: Duration must be positive")
+	}
+	if o.N <= 0 {
+		o.N = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 16
+	}
+	if o.Drain <= 0 {
+		o.Drain = 10 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.Backlog <= 0 {
+		o.Backlog = 64 * o.MaxInFlight
+	}
+	if o.RetryEvery <= 0 {
+		o.RetryEvery = time.Second
+	}
+	return nil
+}
+
+// simReq is one in-flight request in the virtual-time engine.
+type simReq struct {
+	id       uint64 // doubles as the wire client ID
+	intended time.Duration
+	op       []byte
+}
+
+// simEngine drives the open-loop schedule inside the simulator's
+// event loop: one event chain for arrivals, per-request retry timers,
+// completion via the replicas' OnExecute hooks.
+type simEngine struct {
+	opts   SimOptions
+	fdOpts fd.Options
+	net    *sim.Network
+	rec    *Recorder
+	rng    *rand.Rand // arrival/key stream, separate from the network's
+
+	replicas map[ids.ProcessID]*xpaxos.Replica
+	backends map[ids.ProcessID]*storage.MemBackend
+	running  map[ids.ProcessID]bool
+
+	pending  map[uint64]*simReq // sent, not yet executed
+	queue    []*simReq          // offered, waiting for an in-flight slot
+	inflight int
+	nextID   uint64
+	closed   bool // arrival window over
+}
+
+// RunSim executes one open-loop run in virtual time and returns its
+// summary. Deterministic for a fixed SimOptions (including Seed).
+func RunSim(opts SimOptions) (*Summary, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	cfg, err := ids.NewConfig(opts.N, maxFaulty(opts.N))
+	if err != nil {
+		return nil, fmt.Errorf("load: bad cluster size %d: %w", opts.N, err)
+	}
+
+	e := &simEngine{
+		opts:     opts,
+		fdOpts:   core.DefaultNodeOptions().FD,
+		rec:      NewRecorder(opts.BucketWidth),
+		rng:      rand.New(rand.NewSource(opts.Seed ^ 0x10ad)),
+		replicas: make(map[ids.ProcessID]*xpaxos.Replica, opts.N),
+		backends: make(map[ids.ProcessID]*storage.MemBackend, opts.N),
+		running:  make(map[ids.ProcessID]bool, opts.N),
+		pending:  make(map[uint64]*simReq),
+	}
+
+	latency := sim.UniformLatency(2*time.Millisecond, 12*time.Millisecond)
+	var filter sim.Filter = opts.Filter
+	topoName := ""
+	if opts.Topology != nil {
+		latency = opts.Topology.LatencyModel()
+		topoName = opts.Topology.Name()
+		// A WAN link slower than the LAN-tuned failure detector turns
+		// every heartbeat round-trip into a false suspicion; scale the
+		// timeouts to the worst one-way delay.
+		if oneWay := opts.Topology.MaxOneWay(); 4*oneWay > e.fdOpts.BaseTimeout {
+			e.fdOpts.BaseTimeout = 4 * oneWay
+			if 10*e.fdOpts.BaseTimeout > e.fdOpts.MaxTimeout {
+				e.fdOpts.MaxTimeout = 10 * e.fdOpts.BaseTimeout
+			}
+		}
+		if lf := opts.Topology.LinkFilter(); lf != nil {
+			filter = sim.ChainFilters(lf, filter)
+		}
+	}
+
+	nodes := make(map[ids.ProcessID]runtime.Node, opts.N)
+	for _, p := range cfg.All() {
+		nodes[p] = e.newMember(p, nil)
+	}
+	e.net = sim.NewNetwork(cfg, nodes, sim.Options{
+		Seed:    opts.Seed,
+		Latency: latency,
+		Filter:  filter,
+		Metrics: opts.Metrics,
+	})
+
+	for _, c := range opts.Crashes {
+		c := c
+		e.net.At(c.At, func() { e.crash(c) })
+		if c.RestartAt > c.At {
+			e.net.At(c.RestartAt, func() { e.restart(c.Proc) })
+		}
+	}
+
+	// Kick off the arrival chain and close the window at Duration.
+	e.phase("steady")
+	e.scheduleArrival(e.opts.Arrivals.Next(e.rng))
+	e.net.At(opts.Duration, func() {
+		e.closed = true
+		e.phase("drain")
+	})
+
+	deadline := opts.Duration + opts.Drain
+	stopped := false
+	e.net.RunUntil(func() bool {
+		if opts.Stop != nil && !stopped {
+			select {
+			case <-opts.Stop:
+				stopped = true
+			default:
+			}
+		}
+		return stopped || (e.closed && len(e.pending) == 0 && len(e.queue) == 0)
+	}, deadline)
+	elapsed := opts.Duration
+	if stopped && e.net.Now() < elapsed {
+		elapsed = e.net.Now()
+	}
+	e.net.Close()
+
+	var fault *FaultReport
+	if opts.FaultDesc != "" {
+		fault = &FaultReport{Desc: opts.FaultDesc, AtS: opts.FaultAt.Seconds()}
+	}
+	s := e.rec.Summarize(elapsed, fault)
+	s.Mode = "sim"
+	s.Topology = topoName
+	s.Arrivals = opts.Arrivals.String()
+	s.Keys = opts.Keys.String()
+	s.Seed = opts.Seed
+	return s, nil
+}
+
+// maxFaulty returns the largest f the system model accepts for n,
+// preferring the Byzantine bound n > 3f when n allows it.
+func maxFaulty(n int) int {
+	f := (n - 1) / 3
+	if f < 1 && n >= 3 {
+		f = 1
+	}
+	return f
+}
+
+// newMember composes one durable XPaxos process. A nil backend
+// allocates a fresh one; a non-nil backend is inherited from a crashed
+// predecessor (restart-with-recovery).
+func (e *simEngine) newMember(p ids.ProcessID, backend *storage.MemBackend) runtime.Node {
+	if backend == nil {
+		backend = storage.NewMemBackend()
+	}
+	nodeOpts := core.DefaultNodeOptions()
+	nodeOpts.FD = e.fdOpts
+	nodeOpts.Storage = backend
+	node, rep := xpaxos.NewQSNode(xpaxos.Options{
+		CheckpointInterval: 0, // many one-shot clients; keep the log simple
+		BatchSize:          e.opts.BatchSize,
+		Window:             e.opts.Window,
+		OnExecute:          e.complete,
+	}, nodeOpts)
+	e.replicas[p] = rep
+	e.backends[p] = backend
+	e.running[p] = true
+	return node
+}
+
+func (e *simEngine) scheduleArrival(at time.Duration) {
+	if at >= e.opts.Duration {
+		return
+	}
+	e.net.At(at, func() {
+		e.arrive(at)
+		e.scheduleArrival(at + e.opts.Arrivals.Next(e.rng))
+	})
+}
+
+func (e *simEngine) arrive(intended time.Duration) {
+	e.rec.Offered()
+	e.nextID++
+	key := e.opts.Keys.Next(e.rng)
+	req := &simReq{
+		id:       e.nextID,
+		intended: intended,
+		op:       []byte(fmt.Sprintf("set %s v%d", key, e.nextID)),
+	}
+	switch {
+	case e.inflight < e.opts.MaxInFlight:
+		e.send(req)
+	case len(e.queue) < e.opts.Backlog:
+		e.queue = append(e.queue, req)
+	default:
+		e.rec.Shed()
+	}
+}
+
+// send issues req to the lowest-id running replica (which forwards to
+// the leader if it is not the leader itself) and arms its retry timer.
+func (e *simEngine) send(req *simReq) {
+	e.inflight++
+	e.pending[req.id] = req
+	e.rec.Sent(req.intended, e.net.Now())
+	e.submit(req)
+	e.armRetry(req)
+}
+
+func (e *simEngine) submit(req *simReq) {
+	// Like a real client with a leader hint: submit straight to the
+	// current leader when one is running (no forwarding hop), else to
+	// the lowest-id running replica, which forwards.
+	var entry ids.ProcessID
+	for _, p := range e.net.Config().All() {
+		if !e.running[p] {
+			continue
+		}
+		if entry == 0 {
+			entry = p
+		}
+		if e.replicas[p].IsLeader() {
+			entry = p
+			break
+		}
+	}
+	if entry == 0 {
+		return // whole cluster down; the retry timer will try again
+	}
+	// Each request is its own wire-level client, so concurrent and
+	// retried requests can never trip the replica's per-client
+	// duplicate table against each other.
+	e.replicas[entry].Submit(&wire.Request{Client: req.id, Seq: 1, Op: req.op})
+}
+
+func (e *simEngine) armRetry(req *simReq) {
+	at := e.net.Now() + e.opts.RetryEvery
+	if at >= e.opts.Duration+e.opts.Drain {
+		return
+	}
+	e.net.At(at, func() {
+		if _, still := e.pending[req.id]; !still {
+			return
+		}
+		e.submit(req)
+		e.armRetry(req)
+	})
+}
+
+// complete is the OnExecute fan-in shared by every replica: the first
+// one to execute a request completes it; later executions of the same
+// request no-op.
+func (e *simEngine) complete(exec xpaxos.Execution) {
+	req, ok := e.pending[exec.Client]
+	if !ok {
+		return
+	}
+	delete(e.pending, exec.Client)
+	e.inflight--
+	e.rec.Complete(req.intended, e.net.Now()-req.intended)
+	if len(e.queue) > 0 && e.inflight < e.opts.MaxInFlight {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		e.send(next)
+	}
+}
+
+// crash takes the process down; hard crashes first lose unsynced
+// writes, exactly like chaos's crash faults.
+func (e *simEngine) crash(c Crash) {
+	e.phase("fault")
+	if c.Hard {
+		if b := e.backends[c.Proc]; b != nil {
+			b.Crash()
+		}
+	}
+	e.running[c.Proc] = false
+	e.net.StopProcess(c.Proc)
+}
+
+// restart resurrects the process as a fresh member over its old
+// storage backend.
+func (e *simEngine) restart(p ids.ProcessID) {
+	e.phase("recover")
+	node := e.newMember(p, e.backends[p])
+	e.net.ReplaceProcess(p, node)
+}
+
+// phase publishes a LOAD_PHASE protocol event on the run's bus, so a
+// flight recording of the run can line protocol events (suspicions,
+// view changes) up against what the workload was doing at the time.
+func (e *simEngine) phase(name string) {
+	e.net.Events().Publish(obs.Event{At: e.net.Now(), Type: obs.TypeLoadPhase, Detail: name})
+}

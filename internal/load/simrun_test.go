@@ -1,0 +1,200 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quorumselect/internal/sim"
+)
+
+func simTopo(t testing.TB, spec string) *sim.BoundTopology {
+	t.Helper()
+	topo, err := sim.ParseTopology(spec)
+	if err != nil {
+		t.Fatalf("ParseTopology: %v", err)
+	}
+	b, err := topo.Bind(4)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	return b
+}
+
+const geo3Spec = `
+name geo3
+region us-east
+region eu-west
+region ap-south
+local 500us jitter 200us
+link us-east eu-west 40ms 42ms jitter 3ms
+link us-east ap-south 90ms 92ms jitter 5ms
+link eu-west ap-south 70ms 71ms jitter 4ms
+`
+
+// TestRunSimCompletes: a moderate open-loop run against a healthy LAN
+// cluster completes (nearly) everything it offers, with sane latency.
+func TestRunSimCompletes(t *testing.T) {
+	s, err := RunSim(SimOptions{
+		Arrivals: &Poisson{R: 400},
+		Keys:     &UniformKeys{N: 100},
+		Seed:     1,
+		Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offered < 1500 {
+		t.Fatalf("offered %d requests in 5s at 400/s", s.Offered)
+	}
+	if s.GoodputRatio < 0.99 {
+		t.Fatalf("goodput ratio %.3f (completed %d / offered %d, unfinished %d)",
+			s.GoodputRatio, s.Completed, s.Offered, s.Unfinished)
+	}
+	if s.LatencyMs.P50 <= 0 || s.LatencyMs.P99 > 500 {
+		t.Fatalf("implausible latency: %+v", s.LatencyMs)
+	}
+	if s.LatencyMs.P999 < s.LatencyMs.P50 {
+		t.Fatalf("p999 %.2f < p50 %.2f", s.LatencyMs.P999, s.LatencyMs.P50)
+	}
+	if s.Mode != "sim" || s.Arrivals != "poisson:rate=400" {
+		t.Fatalf("summary labels: mode=%q arrivals=%q", s.Mode, s.Arrivals)
+	}
+	if len(s.Timeline) == 0 {
+		t.Fatal("no timeline buckets")
+	}
+}
+
+// TestRunSimDeterministic: same options, same seed → byte-identical
+// accounting.
+func TestRunSimDeterministic(t *testing.T) {
+	run := func() *Summary {
+		s, err := RunSim(SimOptions{
+			Arrivals: &Poisson{R: 200},
+			Keys:     &ZipfKeys{N: 1000, S: 1.2},
+			Seed:     42,
+			Duration: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.Offered != b.Offered || a.Completed != b.Completed || a.LatencyMs != b.LatencyMs {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunSimTopologyOrdersLatency: the same workload is strictly
+// slower on a WAN topology than on the default LAN model — the latency
+// model actually reaches the commit path.
+func TestRunSimTopologyOrdersLatency(t *testing.T) {
+	lan, err := RunSim(SimOptions{
+		Arrivals: &Poisson{R: 100},
+		Keys:     &UniformKeys{N: 100},
+		Seed:     7,
+		Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := RunSim(SimOptions{
+		Arrivals: &Poisson{R: 100},
+		Keys:     &UniformKeys{N: 100},
+		Seed:     7,
+		Duration: 4 * time.Second,
+		Topology: simTopo(t, geo3Spec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Topology != "geo3" {
+		t.Fatalf("topology label %q", geo.Topology)
+	}
+	if geo.GoodputRatio < 0.95 {
+		t.Fatalf("geo goodput ratio %.3f (completed %d / offered %d)",
+			geo.GoodputRatio, geo.Completed, geo.Offered)
+	}
+	// A quorum round across 40–92ms links cannot beat one across
+	// 2–12ms links.
+	if geo.LatencyMs.P50 < 2*lan.LatencyMs.P50 {
+		t.Fatalf("geo p50 %.2fms not clearly above lan p50 %.2fms",
+			geo.LatencyMs.P50, lan.LatencyMs.P50)
+	}
+}
+
+// TestRunSimCrashRecovery: crashing the leader mid-run shows up as a
+// tail-latency spike in the fault report, and the cluster recovers —
+// goodput stays high and the report measures a recovery time.
+func TestRunSimCrashRecovery(t *testing.T) {
+	faultAt := 6 * time.Second
+	s, err := RunSim(SimOptions{
+		Arrivals:  &Poisson{R: 300},
+		Keys:      &UniformKeys{N: 100},
+		Seed:      3,
+		Duration:  16 * time.Second,
+		Crashes:   []Crash{{Proc: 1, At: faultAt, RestartAt: faultAt + 4*time.Second, Hard: true}},
+		FaultDesc: "crash-restart p1 (leader)",
+		FaultAt:   faultAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fault == nil {
+		t.Fatal("no fault report")
+	}
+	f := s.Fault
+	if f.BaselineP99Ms <= 0 {
+		t.Fatalf("no baseline measured: %+v", f)
+	}
+	if f.SpikeP99Ms < 2*f.BaselineP99Ms {
+		t.Fatalf("crash did not spike the tail: baseline %.1fms spike %.1fms",
+			f.BaselineP99Ms, f.SpikeP99Ms)
+	}
+	if !f.Recovered || f.RecoveryMs <= 0 {
+		t.Fatalf("no recovery measured: %+v", f)
+	}
+	// The view change plus retries must eventually commit nearly
+	// everything the window offered.
+	if s.GoodputRatio < 0.9 {
+		t.Fatalf("goodput ratio %.3f after recovery (completed %d / offered %d)",
+			s.GoodputRatio, s.Completed, s.Offered)
+	}
+	if !strings.Contains(f.Desc, "crash") {
+		t.Fatalf("desc %q", f.Desc)
+	}
+}
+
+// TestRunSimBackpressure: a tiny in-flight bound with a tiny backlog
+// sheds load instead of queueing unboundedly, and the shed count is
+// visible in the summary.
+func TestRunSimBackpressure(t *testing.T) {
+	s, err := RunSim(SimOptions{
+		Arrivals:    &Steady{R: 2000},
+		Keys:        &FixedKey{Key: "hot"},
+		Seed:        5,
+		Duration:    2 * time.Second,
+		MaxInFlight: 4,
+		Backlog:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shed == 0 {
+		t.Fatalf("no shedding at 2000/s with 4 in flight: %+v", s)
+	}
+	if s.Sent+s.Shed != s.Offered {
+		t.Fatalf("accounting leak: sent %d + shed %d != offered %d", s.Sent, s.Shed, s.Offered)
+	}
+}
+
+// TestRunSimOptionValidation pins the required-field errors.
+func TestRunSimOptionValidation(t *testing.T) {
+	if _, err := RunSim(SimOptions{Keys: &FixedKey{Key: "k"}, Duration: time.Second}); err == nil {
+		t.Error("accepted nil Arrivals")
+	}
+	if _, err := RunSim(SimOptions{Arrivals: &Poisson{R: 1}, Keys: &FixedKey{Key: "k"}}); err == nil {
+		t.Error("accepted zero Duration")
+	}
+}

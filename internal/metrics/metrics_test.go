@@ -293,3 +293,73 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("h.Count = %d", h.Count)
 	}
 }
+
+// TestPercentileExtremeRanks pins the tail ranks the open-loop load
+// report leans on (p99.9 / p99.99) at small sample counts, where the
+// nearest-rank definition either collapses to the maximum outright or
+// resolves exactly one sample below it. Samples are 1..n so rank r is
+// the value r.
+func TestPercentileExtremeRanks(t *testing.T) {
+	fill := func(n int) Histogram {
+		r := NewRegistry()
+		for i := 1; i <= n; i++ {
+			r.Observe("h", float64(i))
+		}
+		h, _ := r.Hist("h")
+		return h
+	}
+	tests := []struct {
+		n    int
+		p    float64
+		want float64
+	}{
+		{1, 99.9, 1},
+		{10, 99.9, 10},   // ceil(9.99) = 10: p999 is the max below 1000 samples
+		{100, 99.9, 100}, // ceil(99.9) = 100: still the max
+		{100, 99.99, 100},
+		{999, 99.9, 999}, // ceil(998.001) = 999: still the max
+		// float64(99.9)/100 is a hair above 0.999, so at exactly n=1000
+		// the rank ceils to 1000 and p999 is STILL the max — the tail
+		// only resolves below the max from n=1001 on.
+		{1000, 99.9, 1000},
+		{1001, 99.9, 1000},                       // first count where p999 resolves below the max
+		{1000, 99.99, 1000},                      // p9999 collapses to the max far beyond that
+		{ReservoirSize, 99.9, ReservoirSize - 1}, // full reservoir: one below max
+		{ReservoirSize, 99.99, ReservoirSize},    // tail finer than 1/1024 is the max
+	}
+	for _, tc := range tests {
+		h := fill(tc.n)
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("n=%d: Percentile(%v) = %v, want %v", tc.n, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestPercentileTailBeyondReservoir checks the documented tail limit
+// once sampling kicks in: over a 1024-slot uniform reservoir the
+// finest resolvable tail rank is ~1/ReservoirSize, so p99.9 must land
+// within the top band of the true distribution and p99.99 degenerates
+// to the reservoir's own maximum (at or below the exact MaxSeen).
+// Finer tails need a counting histogram — internal/load.Hist records
+// every completion in log-spaced buckets for exactly this reason.
+func TestPercentileTailBeyondReservoir(t *testing.T) {
+	r := NewRegistry()
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		r.Observe("h", float64(i))
+	}
+	h, _ := r.Hist("h")
+	if h.Exact() {
+		t.Fatal("test needs the reservoir-sampled regime")
+	}
+	p999 := h.Percentile(99.9)
+	// The 1023rd order statistic of 1024 uniform draws concentrates at
+	// ~0.998 of the range; 0.99 is > 5 standard deviations of slack.
+	if p999 < 0.99*h.MaxSeen {
+		t.Errorf("p99.9 = %v, want ≥ %v", p999, 0.99*h.MaxSeen)
+	}
+	p9999 := h.Percentile(99.99)
+	if p9999 < p999 || p9999 > h.MaxSeen {
+		t.Errorf("p99.99 = %v, want within [p99.9=%v, MaxSeen=%v]", p9999, p999, h.MaxSeen)
+	}
+}

@@ -50,6 +50,11 @@ const (
 	// TypeLifecycle marks a replica-host lifecycle transition (running,
 	// stopped); Detail carries the new state.
 	TypeLifecycle
+	// TypeLoadPhase marks a workload-generator phase transition (warmup,
+	// steady, fault, drain); Detail carries the phase name. Emitted by
+	// harnesses driving open-loop load so protocol events in a trace can
+	// be read against what the workload was doing at the time.
+	TypeLoadPhase
 )
 
 var typeNames = map[Type]string{
@@ -64,6 +69,7 @@ var typeNames = map[Type]string{
 	TypeCheckpoint:       "CHECKPOINT",
 	TypeEpochAdvance:     "EPOCH_ADVANCE",
 	TypeLifecycle:        "LIFECYCLE",
+	TypeLoadPhase:        "LOAD_PHASE",
 }
 
 // String returns the stable wire name of the type.

@@ -171,7 +171,7 @@ func TestAvailabilityVerdicts(t *testing.T) {
 		available bool
 	}{
 		{"threshold:n=4;f=1", 1, true},
-		{"threshold:n=4;f=1", 2, false}, // q=3 but only 2 processes left
+		{"threshold:n=4;f=1", 2, false},      // q=3 but only 2 processes left
 		{"weighted:w=3,1,1,1;t=4", 1, false}, // losing p1 leaves weight 3 < 4
 		{"weighted:w=2,1,1,1;t=3", 1, true},
 		{"slices:n=4;1={2,3}|{2,4}|{3,4};2={1,3}|{1,4}|{3,4};3={1,2}|{1,4}|{2,4};4={1,2}|{1,3}|{2,3}", 1, true},

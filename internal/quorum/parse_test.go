@@ -16,7 +16,7 @@ func TestParseSpecRoundTrips(t *testing.T) {
 		{"weighted:w=1,1,1;t=2/3", "weighted:w=1,1,1;t=3"}, // ⌊3·2/3⌋+1
 		{"slices:n=4;1={2};2={1};3={4};4={3}", "slices:n=4;1={2};2={1};3={4};4={3}"},
 		{"slices:1={2,3};2={1};3={1}", "slices:n=3;1={2,3};2={1};3={1}"}, // n inferred
-		{" threshold:n=4 ; f=1 ", "threshold:n=4;q=3"},                  // whitespace tolerated
+		{" threshold:n=4 ; f=1 ", "threshold:n=4;q=3"},                   // whitespace tolerated
 	}
 	for _, tc := range cases {
 		sys, err := ParseSpec(tc.in)
@@ -44,23 +44,23 @@ func TestParseSpecRejections(t *testing.T) {
 		"   ",
 		"mystery:n=4",
 		"threshold:",
-		"threshold:n=4",              // no q or f
-		"threshold:n=4;q=3;f=1",      // both q and f
-		"threshold:n=4;q=0",          // q out of range
-		"threshold:n=4;q=5",          // q > n
+		"threshold:n=4",         // no q or f
+		"threshold:n=4;q=3;f=1", // both q and f
+		"threshold:n=4;q=0",     // q out of range
+		"threshold:n=4;q=5",     // q > n
 		"threshold:n=-2;f=1",
 		"threshold:n=129;f=1", // beyond MaxSpecN
 		"weighted:w=" + strings.Repeat("1,", 64) + "1;t=3", // 65 weights
 		"threshold:n=4;f=one",
-		"weighted:t=3",               // no weights
-		"weighted:w=1,1,1",           // no target
-		"weighted:w=1,-1,1;t=2",      // negative weight
-		"weighted:w=1,1,1;t=0",       // target below 1
-		"weighted:w=1,1,1;t=4",       // target above total
-		"weighted:w=1,1,1;t=2/0",     // zero denominator
-		"weighted:w=1,1,1;t=3/2",     // fraction above 1
+		"weighted:t=3",           // no weights
+		"weighted:w=1,1,1",       // no target
+		"weighted:w=1,-1,1;t=2",  // negative weight
+		"weighted:w=1,1,1;t=0",   // target below 1
+		"weighted:w=1,1,1;t=4",   // target above total
+		"weighted:w=1,1,1;t=2/0", // zero denominator
+		"weighted:w=1,1,1;t=3/2", // fraction above 1
 		"weighted:w=;t=1",
-		"slices:n=4;1={2}",           // p2..p4 have no slices
+		"slices:n=4;1={2}",                         // p2..p4 have no slices
 		"slices:n=4;1={2};1={3};2={1};3={1};4={1}", // duplicate owner
 		"slices:n=4;1={5};2={1};3={1};4={1}",       // member out of range
 		"slices:n=2;1={2};2={1};5={1}",             // owner above n

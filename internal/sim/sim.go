@@ -86,6 +86,32 @@ func (f FilterFunc) Filter(from, to ids.ProcessID, m wire.Message, now time.Dura
 	return f(from, to, m, now)
 }
 
+// ChainFilters composes two filters; either may be nil. A drop from
+// the first short-circuits; otherwise delays add, duplication unions,
+// and the first non-nil mutation wins. Harnesses use it to stack a
+// topology's partition windows in front of a generated fault schedule.
+func ChainFilters(a, b Filter) Filter {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return FilterFunc(func(from, to ids.ProcessID, m wire.Message, at time.Duration) Verdict {
+		v := a.Filter(from, to, m, at)
+		if v.Drop {
+			return v
+		}
+		w := b.Filter(from, to, m, at)
+		w.Delay += v.Delay
+		w.Duplicate = w.Duplicate || v.Duplicate
+		if w.Mutate == nil {
+			w.Mutate = v.Mutate
+		}
+		return w
+	})
+}
+
 // Options configures a Network.
 type Options struct {
 	// Seed drives all randomness in the run. The zero seed is valid

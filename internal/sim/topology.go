@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"quorumselect/internal/ids"
+	"quorumselect/internal/wire"
+)
+
+// Topology models a geo-distributed deployment for the simulator:
+// named regions, an asymmetric per-region-pair one-way latency matrix
+// with bounded jitter, and optional partial partitions (region pairs
+// whose links go dark for a window). It compiles into the simulator's
+// two existing seams — a LatencyModel for link delays and a Filter for
+// link failures — so protocols, chaos schedules and the load generator
+// all run under it unchanged.
+//
+// A topology is written in a small line-oriented spec (one directive
+// per line, '#' comments):
+//
+//	# three regions, four processes
+//	region us-east 1 2        # explicit members
+//	region eu-west 3
+//	region ap-south           # members omitted: round-robin the rest
+//	local 500us jitter 100us  # intra-region one-way latency
+//	link us-east eu-west 40ms 42ms jitter 2ms   # a→b, b→a, ± jitter
+//	link us-east ap-south 90ms jitter 5ms       # symmetric when b→a omitted
+//	link eu-west ap-south 70ms
+//	partition us-east ap-south 10s 15s          # links dark in [10s,15s)
+//
+// Every region pair must have a link line (there is no default WAN
+// latency — forgetting a pair is a spec bug, not a 0-RTT link).
+// Latencies are one-way; RTT between two processes is the sum of the
+// two directed latencies. Jitter is uniform in [0, j], drawn from the
+// simulator's seeded rng, so runs stay deterministic per seed.
+type Topology struct {
+	// Name is the topology's identifier (from a "name" directive or
+	// the file base name); purely informational.
+	Name string
+	// Regions in declaration order.
+	Regions []string
+	// Local is the intra-region link (defaults to 500µs, no jitter).
+	Local Link
+	// Members maps explicitly placed processes to their region.
+	Members map[ids.ProcessID]string
+	// Links holds the directed inter-region latency matrix.
+	Links map[[2]string]Link
+	// Partitions lists the partial partitions.
+	Partitions []RegionPartition
+}
+
+// Link is one directed region-pair latency: base one-way delay plus
+// uniform jitter in [0, Jitter].
+type Link struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// delay draws one link traversal.
+func (l Link) delay(rng *rand.Rand) time.Duration {
+	if l.Jitter <= 0 {
+		return l.Base
+	}
+	return l.Base + time.Duration(rng.Int63n(int64(l.Jitter)+1))
+}
+
+// RegionPartition severs every link between two regions (both
+// directions) while [From, Until) is open — a partial partition: the
+// rest of the graph stays connected.
+type RegionPartition struct {
+	A, B        string
+	From, Until time.Duration
+}
+
+// ParseTopology parses the spec grammar above.
+func ParseTopology(src string) (*Topology, error) {
+	t := &Topology{
+		Local:   Link{Base: 500 * time.Microsecond},
+		Members: make(map[ids.ProcessID]string),
+		Links:   make(map[[2]string]Link),
+	}
+	seen := make(map[string]bool)
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("topology line %d: %s", lineno+1, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "name":
+			if len(f) != 2 {
+				return nil, fail("want 'name <id>'")
+			}
+			t.Name = f[1]
+		case "region":
+			if len(f) < 2 {
+				return nil, fail("want 'region <name> [procs...]'")
+			}
+			name := f[1]
+			if seen[name] {
+				return nil, fail("duplicate region %q", name)
+			}
+			seen[name] = true
+			t.Regions = append(t.Regions, name)
+			for _, ps := range f[2:] {
+				var p int
+				if _, err := fmt.Sscanf(ps, "%d", &p); err != nil || p < 1 {
+					return nil, fail("bad process id %q", ps)
+				}
+				pid := ids.ProcessID(p)
+				if prev, ok := t.Members[pid]; ok {
+					return nil, fail("process %s in both %q and %q", pid, prev, name)
+				}
+				t.Members[pid] = name
+			}
+		case "local":
+			link, err := parseLink(f[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			t.Local = link
+		case "link":
+			if len(f) < 4 {
+				return nil, fail("want 'link <a> <b> <a→b> [<b→a>] [jitter <j>]'")
+			}
+			a, b := f[1], f[2]
+			if !seen[a] || !seen[b] {
+				return nil, fail("link names unknown region (%q, %q); declare regions first", a, b)
+			}
+			if a == b {
+				return nil, fail("intra-region latency is the 'local' directive, not a self-link")
+			}
+			fwd, back, err := parseLinkPair(f[3:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if _, dup := t.Links[[2]string{a, b}]; dup {
+				return nil, fail("duplicate link %s %s", a, b)
+			}
+			t.Links[[2]string{a, b}] = fwd
+			t.Links[[2]string{b, a}] = back
+		case "partition":
+			if len(f) != 5 {
+				return nil, fail("want 'partition <a> <b> <from> <until>'")
+			}
+			a, b := f[1], f[2]
+			if !seen[a] || !seen[b] {
+				return nil, fail("partition names unknown region (%q, %q)", a, b)
+			}
+			from, err1 := time.ParseDuration(f[3])
+			until, err2 := time.ParseDuration(f[4])
+			if err1 != nil || err2 != nil || until <= from || from < 0 {
+				return nil, fail("bad partition window [%s,%s)", f[3], f[4])
+			}
+			t.Partitions = append(t.Partitions, RegionPartition{A: a, B: b, From: from, Until: until})
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if len(t.Regions) == 0 {
+		return nil, fmt.Errorf("topology: no regions declared")
+	}
+	// Every cross-region pair needs a latency: no silent 0-RTT links.
+	for i, a := range t.Regions {
+		for _, b := range t.Regions[i+1:] {
+			if _, ok := t.Links[[2]string{a, b}]; !ok {
+				return nil, fmt.Errorf("topology: no link between regions %q and %q", a, b)
+			}
+		}
+	}
+	return t, nil
+}
+
+// parseLink parses "<base> [jitter <j>]".
+func parseLink(f []string) (Link, error) {
+	if len(f) == 0 {
+		return Link{}, fmt.Errorf("missing latency")
+	}
+	base, err := time.ParseDuration(f[0])
+	if err != nil || base < 0 {
+		return Link{}, fmt.Errorf("bad latency %q", f[0])
+	}
+	l := Link{Base: base}
+	rest := f[1:]
+	if len(rest) == 0 {
+		return l, nil
+	}
+	if len(rest) != 2 || rest[0] != "jitter" {
+		return Link{}, fmt.Errorf("trailing %q (want 'jitter <dur>')", strings.Join(rest, " "))
+	}
+	j, err := time.ParseDuration(rest[1])
+	if err != nil || j < 0 {
+		return Link{}, fmt.Errorf("bad jitter %q", rest[1])
+	}
+	l.Jitter = j
+	return l, nil
+}
+
+// parseLinkPair parses "<a→b> [<b→a>] [jitter <j>]"; a single latency
+// is symmetric and jitter applies to both directions.
+func parseLinkPair(f []string) (fwd, back Link, err error) {
+	if len(f) == 0 {
+		return Link{}, Link{}, fmt.Errorf("missing latency")
+	}
+	fb, err := time.ParseDuration(f[0])
+	if err != nil || fb < 0 {
+		return Link{}, Link{}, fmt.Errorf("bad latency %q", f[0])
+	}
+	bb := fb
+	rest := f[1:]
+	if len(rest) > 0 && rest[0] != "jitter" {
+		bb, err = time.ParseDuration(rest[0])
+		if err != nil || bb < 0 {
+			return Link{}, Link{}, fmt.Errorf("bad reverse latency %q", rest[0])
+		}
+		rest = rest[1:]
+	}
+	var jitter time.Duration
+	if len(rest) > 0 {
+		if len(rest) != 2 || rest[0] != "jitter" {
+			return Link{}, Link{}, fmt.Errorf("trailing %q (want 'jitter <dur>')", strings.Join(rest, " "))
+		}
+		jitter, err = time.ParseDuration(rest[1])
+		if err != nil || jitter < 0 {
+			return Link{}, Link{}, fmt.Errorf("bad jitter %q", rest[1])
+		}
+	}
+	return Link{Base: fb, Jitter: jitter}, Link{Base: bb, Jitter: jitter}, nil
+}
+
+// LoadTopology reads and parses a topology spec file; an unnamed spec
+// takes the file's base name (minus extension) as its name.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := ParseTopology(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.Name == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		t.Name = strings.TrimSuffix(base, ".topo")
+	}
+	return t, nil
+}
+
+// Bind resolves the topology against a cluster of n processes:
+// explicitly placed members keep their region, every other process
+// goes to the currently least-populated region (declaration order
+// breaking ties), so the fill balances around whatever the spec
+// pinned. It fails if a spec pins a process outside 1..n.
+func (t *Topology) Bind(n int) (*BoundTopology, error) {
+	b := &BoundTopology{topo: t, region: make(map[ids.ProcessID]string, n)}
+	pop := make(map[string]int, len(t.Regions))
+	for p, r := range t.Members {
+		if !p.Valid(n) {
+			return nil, fmt.Errorf("topology %s: process %s pinned to region %q, cluster has n=%d", t.Name, p, r, n)
+		}
+		b.region[p] = r
+		pop[r]++
+	}
+	for i := 1; i <= n; i++ {
+		p := ids.ProcessID(i)
+		if _, ok := b.region[p]; ok {
+			continue
+		}
+		best := t.Regions[0]
+		for _, r := range t.Regions[1:] {
+			if pop[r] < pop[best] {
+				best = r
+			}
+		}
+		b.region[p] = best
+		pop[best]++
+	}
+	return b, nil
+}
+
+// BoundTopology is a Topology resolved for a concrete cluster size:
+// every process has a region, so link latencies and partitions are
+// answerable per process pair.
+type BoundTopology struct {
+	topo   *Topology
+	region map[ids.ProcessID]string
+}
+
+// Name returns the topology's name.
+func (b *BoundTopology) Name() string { return b.topo.Name }
+
+// RegionOf returns the region of process p ("" if p is unknown, which
+// means the bind n was smaller than the caller's cluster).
+func (b *BoundTopology) RegionOf(p ids.ProcessID) string { return b.region[p] }
+
+// link returns the directed link spec for one process pair.
+func (b *BoundTopology) link(from, to ids.ProcessID) Link {
+	ra, rb := b.region[from], b.region[to]
+	if ra == rb {
+		return b.topo.Local
+	}
+	return b.topo.Links[[2]string{ra, rb}]
+}
+
+// LatencyModel compiles the bound topology into the simulator's
+// latency seam: intra-region sends take the local link, cross-region
+// sends the directed region-pair link, each plus seeded uniform jitter.
+func (b *BoundTopology) LatencyModel() LatencyModel {
+	return func(from, to ids.ProcessID, rng *rand.Rand) time.Duration {
+		return b.link(from, to).delay(rng)
+	}
+}
+
+// LinkFilter compiles the topology's partial partitions into the
+// simulator's adversary seam, dropping every message between a
+// partitioned region pair while its window is open. It returns nil
+// when the topology declares no partitions, so callers can chain it
+// only when needed.
+func (b *BoundTopology) LinkFilter() Filter {
+	if len(b.topo.Partitions) == 0 {
+		return nil
+	}
+	parts := b.topo.Partitions
+	return FilterFunc(func(from, to ids.ProcessID, _ wire.Message, now time.Duration) Verdict {
+		ra, rb := b.region[from], b.region[to]
+		if ra == rb {
+			return Verdict{}
+		}
+		for _, pt := range parts {
+			if now < pt.From || now >= pt.Until {
+				continue
+			}
+			if (ra == pt.A && rb == pt.B) || (ra == pt.B && rb == pt.A) {
+				return Verdict{Drop: true}
+			}
+		}
+		return Verdict{}
+	})
+}
+
+// MaxOneWay returns the largest base one-way latency plus jitter in
+// the topology — what failure-detector timeouts must be sized against.
+func (b *BoundTopology) MaxOneWay() time.Duration {
+	max := b.topo.Local.Base + b.topo.Local.Jitter
+	for _, l := range b.topo.Links {
+		if d := l.Base + l.Jitter; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the binding: regions with their members and the
+// latency matrix, deterministically ordered.
+func (b *BoundTopology) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "topology %s:", b.topo.Name)
+	for _, r := range b.topo.Regions {
+		var members []int
+		for p, reg := range b.region {
+			if reg == r {
+				members = append(members, int(p))
+			}
+		}
+		sort.Ints(members)
+		fmt.Fprintf(&sb, " %s=%v", r, members)
+	}
+	return sb.String()
+}

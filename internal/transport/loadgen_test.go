@@ -1,0 +1,116 @@
+package transport_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quorumselect/internal/crypto"
+	"quorumselect/internal/ids"
+	"quorumselect/internal/load"
+	"quorumselect/internal/transport"
+	"quorumselect/internal/wire"
+	"quorumselect/internal/xpaxos"
+)
+
+// tcpLoadTarget adapts a real TCP cluster's leader to the open-loop
+// generator's Target: each request submits under its own client ID and
+// blocks until the leader's OnExecute reports it, so the generator's
+// latency samples cover the full submit→commit→execute path over real
+// sockets.
+type tcpLoadTarget struct {
+	host *transport.Host
+	rep  *xpaxos.Replica
+
+	next uint64 // atomic client-ID counter
+
+	mu      sync.Mutex
+	waiters map[uint64]chan struct{}
+}
+
+func newTCPLoadTarget() *tcpLoadTarget {
+	return &tcpLoadTarget{waiters: map[uint64]chan struct{}{}}
+}
+
+// onExec runs on the leader's event loop.
+func (t *tcpLoadTarget) onExec(e xpaxos.Execution) {
+	t.mu.Lock()
+	ch := t.waiters[e.Client]
+	delete(t.waiters, e.Client)
+	t.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (t *tcpLoadTarget) Do(ctx context.Context, key string, op []byte) error {
+	id := atomic.AddUint64(&t.next, 1)
+	done := make(chan struct{})
+	t.mu.Lock()
+	t.waiters[id] = done
+	t.mu.Unlock()
+	t.host.Do(func() {
+		t.rep.Submit(&wire.Request{Client: id, Seq: 1, Op: op})
+	})
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		delete(t.waiters, id)
+		t.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TestOpenLoopOverTCP runs the wall-clock open-loop generator against
+// a real 4-process TCP cluster: a short Poisson run must sustain its
+// offered rate end to end (goodput ≥ 0.95) with full accounting
+// (offered = sent + shed, sent = completed + failed) and latencies
+// charged from intended send time.
+func TestOpenLoopOverTCP(t *testing.T) {
+	cfg := ids.MustConfig(4, 1)
+	auth := crypto.NewHMACRing(cfg, []byte("loadgen-secret"))
+	target := newTCPLoadTarget()
+	hosts, replicas, shutdown := newWindowedTCPCluster(t, cfg, auth, 16, 8, 0, target.onExec)
+	defer shutdown()
+	target.host, target.rep = hosts[1], replicas[1]
+
+	gen, err := load.NewGenerator(load.Options{
+		Arrivals:    &load.Poisson{R: 300},
+		Keys:        &load.ZipfKeys{N: 2000, S: 1.1},
+		Seed:        23,
+		Duration:    2 * time.Second,
+		MaxInFlight: 64,
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gen.Run(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offered != s.Sent+s.Shed {
+		t.Errorf("accounting: offered %d != sent %d + shed %d", s.Offered, s.Sent, s.Shed)
+	}
+	if s.Sent != s.Completed+s.Failed+s.Unfinished {
+		t.Errorf("accounting: sent %d != completed %d + failed %d + unfinished %d",
+			s.Sent, s.Completed, s.Failed, s.Unfinished)
+	}
+	if s.Completed == 0 {
+		t.Fatal("no requests completed over TCP")
+	}
+	if s.GoodputRatio < 0.95 {
+		t.Errorf("goodput ratio %.3f, want ≥ 0.95 (completed %d of %d offered)",
+			s.GoodputRatio, s.Completed, s.Offered)
+	}
+	if s.LatencyMs.P50 <= 0 || s.LatencyMs.P99 < s.LatencyMs.P50 {
+		t.Errorf("implausible latency: %+v", s.LatencyMs)
+	}
+	if s.LatencyMs.P99 > 5000 {
+		t.Errorf("p99 %.1fms on loopback, want well under 5s", s.LatencyMs.P99)
+	}
+}
